@@ -1,0 +1,300 @@
+package mixedclock_test
+
+// One benchmark per figure of the paper's evaluation (§V), plus ablation
+// benches for the substrate algorithms and clock schemes. The figure benches
+// run the same sweeps as `go run ./cmd/figures` at reduced trial counts, so
+// `go test -bench=Fig -benchmem` both times the harness and regenerates the
+// series. EXPERIMENTS.md records full-scale outputs.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mixedclock"
+	"mixedclock/internal/baseline"
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/clock"
+	"mixedclock/internal/core"
+	"mixedclock/internal/experiment"
+	"mixedclock/internal/matching"
+	"mixedclock/internal/trace"
+)
+
+// benchOpts keeps figure benches fast while preserving the paper's scale
+// (50 nodes per side, the full density axis).
+func benchOpts() experiment.Options {
+	return experiment.Options{Trials: 2, Seed: 42}
+}
+
+// BenchmarkFig4 regenerates "Vector Size Varies as Graph Density Increases"
+// (uniform + nonuniform panels, Naive/Random/Popularity).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Fig4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates "Vector Size Varies as Number of Nodes
+// Increases" (node sweep at density 0.05).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Fig5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the offline-vs-online density sweep.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the offline-vs-online node sweep.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig7(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatching compares the paper's Hopcroft–Karp against the Kuhn
+// baseline across graph sizes — the ablation for the offline algorithm's
+// core.
+func BenchmarkMatching(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: n, NObjects: n, Density: 4.0 / float64(n),
+		}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("hopcroft-karp/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matching.HopcroftKarp(g)
+			}
+		})
+		b.Run(fmt.Sprintf("kuhn/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matching.Kuhn(g)
+			}
+		})
+	}
+}
+
+// BenchmarkOfflineAnalysis times the complete Algorithm 1 (matching + König
+// cover + component set) on paper-scale graphs.
+func BenchmarkOfflineAnalysis(b *testing.B) {
+	for _, density := range []float64{0.05, 0.2} {
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: 50, NObjects: 50, Density: density,
+		}, rand.New(rand.NewSource(11)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("d=%.2f", density), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Analyze(g)
+			}
+		})
+	}
+}
+
+// BenchmarkTimestamp measures per-event timestamping cost (and allocation)
+// for every clock scheme on the same workload — the runtime-overhead
+// ablation: the mixed clock's smaller vectors should translate into less
+// work per event.
+func BenchmarkTimestamp(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	base, err := trace.Generate(trace.HotSet, trace.Config{Threads: 50, Objects: 50, Events: 1_000}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Extend the sparse structure (cover ≈29 < 50) to 10k events on the
+	// same edges, so the mixed clock stays narrow while the event count is
+	// benchmark-sized.
+	tr := trace.FromGraph(bipartite.FromTrace(base), 9_000, rng)
+	events := tr.Events()
+	analysis := core.AnalyzeTrace(tr)
+	b.Logf("clock widths: thread=%d object=%d mixed=%d",
+		tr.Threads(), tr.Objects(), analysis.VectorSize())
+
+	schemes := []struct {
+		name string
+		make func() clock.Timestamper
+	}{
+		{"thread-based", func() clock.Timestamper { return baseline.NewThreadClock(tr.Threads(), tr.Objects()) }},
+		{"object-based", func() clock.Timestamper { return baseline.NewObjectClock(tr.Threads(), tr.Objects()) }},
+		{"chain", func() clock.Timestamper { return baseline.NewChainClock() }},
+		{"mixed-offline", func() clock.Timestamper { return analysis.NewClock() }},
+		{"mixed-online-popularity", func() clock.Timestamper { return core.NewOnlineMixedClock(core.Popularity{}) }},
+		{"mixed-online-hybrid", func() clock.Timestamper { return core.NewOnlineMixedClock(core.NewHybrid()) }},
+	}
+	for _, s := range schemes {
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ts := s.make()
+				for _, e := range events {
+					ts.Timestamp(e)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(events)), "ns/event")
+		})
+	}
+}
+
+// BenchmarkStampBytes reports the final timestamp width (components) per
+// scheme — the space half of the paper's claim. The hot-set workload keeps
+// the access structure sparse so the mixed clock's optimality shows
+// (measured: ≈29 components vs 50 for the thread clock).
+func BenchmarkStampBytes(b *testing.B) {
+	cfg := trace.Config{Threads: 50, Objects: 50, Events: 1_000}
+	tr, err := trace.Generate(trace.HotSet, cfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	analysis := core.AnalyzeTrace(tr)
+	schemes := []struct {
+		name string
+		make func() clock.Timestamper
+	}{
+		{"thread-based", func() clock.Timestamper { return baseline.NewThreadClock(tr.Threads(), tr.Objects()) }},
+		{"mixed-offline", func() clock.Timestamper { return analysis.NewClock() }},
+		{"chain", func() clock.Timestamper { return baseline.NewChainClock() }},
+	}
+	for _, s := range schemes {
+		b.Run(s.name, func(b *testing.B) {
+			var components int
+			for i := 0; i < b.N; i++ {
+				ts := s.make()
+				clock.Run(tr, ts)
+				components = ts.Components()
+			}
+			b.ReportMetric(float64(components), "components")
+			b.ReportMetric(float64(components*8), "stamp-bytes")
+		})
+	}
+}
+
+// BenchmarkOnlineReveal measures the per-edge cost of the online cover
+// mechanisms (no timestamping) — what SimulateCover pays in Figs. 4–7.
+func BenchmarkOnlineReveal(b *testing.B) {
+	g, err := bipartite.Generate(bipartite.GenConfig{
+		NThreads: 100, NObjects: 100, Density: 0.1,
+	}, rand.New(rand.NewSource(19)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := g.RevealOrder(rand.New(rand.NewSource(20)))
+	mechs := []core.Mechanism{
+		core.NaiveThreads{},
+		core.Popularity{},
+		core.NewHybrid(),
+	}
+	for _, m := range mechs {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SimulateCover(order, m)
+			}
+		})
+	}
+	b.Run("random", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < b.N; i++ {
+			core.SimulateCover(order, core.Random{Rng: rng})
+		}
+	})
+}
+
+// BenchmarkDeltaEncoding measures the Singhal–Kshemkalyani differential
+// encoding against shipping full vectors, on a bursty workload (each thread
+// performs runs of operations on one object) where consecutive
+// transmissions on a channel differ in few components.
+func BenchmarkDeltaEncoding(b *testing.B) {
+	const nThreads, nObjects, bursts, burstLen = 40, 40, 15, 10
+	rng := rand.New(rand.NewSource(23))
+	tr := mixedclock.NewTrace()
+	for round := 0; round < bursts; round++ {
+		for tid := 0; tid < nThreads; tid++ {
+			obj := mixedclock.ObjectID(rng.Intn(nObjects))
+			for k := 0; k < burstLen; k++ {
+				tr.Append(mixedclock.ThreadID(tid), obj, mixedclock.OpWrite)
+			}
+		}
+	}
+	stamps := clock.Run(tr, baseline.NewThreadClock(tr.Threads(), tr.Objects()))
+	events := tr.Events()
+
+	b.Run("delta", func(b *testing.B) {
+		var ints int
+		for i := 0; i < b.N; i++ {
+			var enc baseline.DeltaEncoder
+			ints = 0
+			for j, e := range events {
+				d := enc.Encode(fmt.Sprintf("%d-%d", e.Thread, e.Object), stamps[j])
+				ints += d.Ints()
+			}
+		}
+		b.ReportMetric(float64(ints)/float64(len(events)), "ints/event")
+	})
+	b.Run("full", func(b *testing.B) {
+		var ints int
+		for i := 0; i < b.N; i++ {
+			ints = 0
+			for j := range events {
+				ints += len(stamps[j])
+			}
+		}
+		b.ReportMetric(float64(ints)/float64(len(events)), "ints/event")
+	})
+}
+
+// BenchmarkTracker measures the live tracker under goroutine contention.
+func BenchmarkTracker(b *testing.B) {
+	for _, objects := range []int{1, 16} {
+		b.Run(fmt.Sprintf("objects=%d", objects), func(b *testing.B) {
+			tracker := mixedclock.NewTracker()
+			objs := make([]*mixedclock.Object, objects)
+			for i := range objs {
+				objs[i] = tracker.NewObject("o")
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				th := tracker.NewThread("w")
+				i := 0
+				for pb.Next() {
+					th.Write(objs[i%len(objs)], nil)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkGreedyVsOptimalCover times the greedy cover heuristic against
+// the exact algorithm (quality is compared in experiment.GreedyVsOptimal).
+func BenchmarkGreedyVsOptimalCover(b *testing.B) {
+	g, err := bipartite.Generate(bipartite.GenConfig{
+		NThreads: 200, NObjects: 200, Density: 0.05,
+	}, rand.New(rand.NewSource(29)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matching.GreedyCover(g)
+		}
+	})
+	b.Run("konig", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matching.MinVertexCover(g)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mixedclock/internal/event"
+)
+
+func writeTempTrace(t *testing.T) (string, *event.Trace) {
+	t.Helper()
+	tr := event.NewTrace()
+	tr.Append(0, 0, event.OpWrite)
+	tr.Append(1, 0, event.OpRead)
+	tr.Append(1, 1, event.OpWrite)
+	tr.Append(2, 2, event.OpWrite)
+	tr.Append(0, 1, event.OpWrite)
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path, tr
+}
+
+func TestLoadTrace(t *testing.T) {
+	path, tr := writeTempTrace(t)
+	got, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("loaded %d events, want %d", got.Len(), tr.Len())
+	}
+	if _, err := loadTrace(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadTraceRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace(path); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestAnalyzeOutput(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	var buf bytes.Buffer
+	if err := analyze(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"minimum vertex cover", "mixed (optimal)", "thread-based", "savings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimestampOutput(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	var buf bytes.Buffer
+	if err := timestamp(&buf, tr, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "components:") || !strings.Contains(out, "more; use -n 0") {
+		t.Errorf("timestamp output:\n%s", out)
+	}
+	buf.Reset()
+	if err := timestamp(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "more;") {
+		t.Error("-n 0 should print everything")
+	}
+}
+
+func TestOrderOutput(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	var buf bytes.Buffer
+	if err := order(&buf, tr, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "happened before") {
+		t.Errorf("order output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := order(&buf, tr, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "concurrent") {
+		t.Errorf("order output: %s", buf.String())
+	}
+	if err := order(&buf, tr, -1, 0); err == nil {
+		t.Error("bad indices accepted")
+	}
+	if err := order(&buf, tr, 0, 99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestDetectOutput(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	var buf bytes.Buffer
+	if err := detectCmd(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "census:") {
+		t.Errorf("detect output: %s", buf.String())
+	}
+}
+
+func TestRecoverOutput(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	var buf bytes.Buffer
+	if err := recover_(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recovery line") {
+		t.Errorf("recover output: %s", buf.String())
+	}
+	if err := recover_(&buf, tr, -1); err == nil {
+		t.Error("missing -fail accepted")
+	}
+}
+
+func TestValidateOutput(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	var buf bytes.Buffer
+	if err := validate(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, scheme := range []string{"mixed/offline", "thread-based", "object-based", "chain"} {
+		if !strings.Contains(out, scheme) {
+			t.Errorf("validate output missing %q", scheme)
+		}
+	}
+	if !strings.Contains(out, "all schemes valid") {
+		t.Errorf("validate output: %s", out)
+	}
+}
+
+func TestGraphOutput(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	var buf bytes.Buffer
+	if err := graph(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph threadobject") {
+		t.Errorf("graph output: %s", buf.String())
+	}
+}
+
+func TestExportInspectRoundTrip(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	logPath := filepath.Join(t.TempDir(), "t.mvclog")
+	var buf bytes.Buffer
+	if err := export(&buf, tr, logPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 5 timestamped events") {
+		t.Errorf("export output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := inspect(&buf, logPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "validated 5 events") {
+		t.Errorf("inspect output: %s", buf.String())
+	}
+
+	if err := export(&buf, tr, ""); err == nil {
+		t.Error("export without -out accepted")
+	}
+	if err := inspect(&buf, "", 0); err == nil {
+		t.Error("inspect without -log accepted")
+	}
+}
+
+func TestInspectTruncatedLog(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "t.mvclog")
+	var buf bytes.Buffer
+	if err := export(&buf, tr, logPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutPath := filepath.Join(dir, "cut.mvclog")
+	if err := os.WriteFile(cutPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := inspect(&buf, cutPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "log truncated") {
+		t.Errorf("inspect output: %s", buf.String())
+	}
+}

@@ -1,0 +1,81 @@
+// Command tracegen generates synthetic thread–object computations in the
+// library's JSON Lines trace format.
+//
+// Usage:
+//
+//	tracegen [-workload uniform|hotset|zipf|producer-consumer|readers-writers|phased|lock-striped]
+//	         [-threads N] [-objects M] [-events E] [-reads F] [-seed S] [-out FILE]
+//
+// Example:
+//
+//	tracegen -workload hotset -threads 50 -objects 50 -events 2000 > trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"mixedclock/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "uniform", "trace family")
+		threads  = flag.Int("threads", 50, "number of threads")
+		objects  = flag.Int("objects", 50, "number of objects")
+		events   = flag.Int("events", 1000, "number of operations")
+		reads    = flag.Float64("reads", 0, "fraction of read operations")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		out      = flag.String("out", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*workload, *threads, *objects, *events, *reads, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, threads, objects, events int, reads float64, seed int64, out string) error {
+	w, err := lookupWorkload(workload)
+	if err != nil {
+		return err
+	}
+	cfg := trace.Config{
+		Threads:      threads,
+		Objects:      objects,
+		Events:       events,
+		ReadFraction: reads,
+	}
+	tr, err := trace.Generate(w, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+
+	var dst io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", out, err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := tr.WriteJSONL(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", tr.Summarize())
+	return nil
+}
+
+func lookupWorkload(name string) (trace.Workload, error) {
+	for _, w := range trace.Workloads() {
+		if w.String() == name {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown workload %q", name)
+}

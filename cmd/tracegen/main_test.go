@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/trace"
+)
+
+func TestLookupWorkload(t *testing.T) {
+	for _, w := range trace.Workloads() {
+		got, err := lookupWorkload(w.String())
+		if err != nil || got != w {
+			t.Errorf("lookup %q = %v, %v", w.String(), got, err)
+		}
+	}
+	if _, err := lookupWorkload("nonsense"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run("hotset", 10, 10, 50, 0.25, 3, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := event.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("trace has %d events, want 50", tr.Len())
+	}
+	s := tr.Summarize()
+	if s.Reads == 0 {
+		t.Error("read fraction ignored")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run("uniform", -1, 10, 10, 0, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("negative threads accepted")
+	}
+	if err := run("nope", 10, 10, 10, 0, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("uniform", 10, 10, 10, 0, 1, "/nonexistent-dir/x.jsonl"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,50 @@
+// Package mixedclock implements optimal mixed vector clocks for
+// multithreaded systems, after Zheng & Garg, "An Optimal Vector Clock
+// Algorithm for Multithreaded Systems" (ICDCS 2019).
+//
+// # Background
+//
+// A concurrent program with n threads operating on m lock-protected shared
+// objects is classically timestamped with a vector clock of size n (one
+// component per thread) or m (one per object). This library implements the
+// paper's mixed vector clock, whose components are a mixture of threads and
+// objects, and which is provably the smallest vector clock able to order the
+// computation: its size equals the minimum vertex cover of the thread–object
+// bipartite graph (an edge per thread–object pair that interacts), computed
+// via Hopcroft–Karp maximum matching and the König–Egerváry theorem.
+//
+// # Offline usage
+//
+// When the computation is known (a recorded trace), Analyze computes the
+// optimal components and a clock over them:
+//
+//	analysis := mixedclock.AnalyzeTrace(trace)
+//	fmt.Println(analysis.Components)     // e.g. {T2, O2, O3}
+//	clk := analysis.NewClock()
+//	for _, e := range trace.Events() {
+//		stamp := clk.Timestamp(e)
+//		// stamp orders e against every other event: s → t ⇔ s.V < t.V
+//	}
+//
+// # Online usage
+//
+// When events arrive one at a time, components can only be added. The §IV
+// mechanisms decide whether a new edge's thread or object joins the clock:
+//
+//	clk := mixedclock.NewOnlineClock(mixedclock.NewHybrid())
+//	stamp := clk.Timestamp(e)
+//
+// # Live tracking
+//
+// To track a real concurrent Go program, use the Tracker: goroutines are
+// threads, lock-protected shared state are objects:
+//
+//	tracker := mixedclock.NewTracker()
+//	account := tracker.NewObject("account")
+//	th := tracker.NewThread("worker-1") // one per goroutine
+//	stamp := th.Write(account, func() { balance += 10 })
+//
+// Recorded stamps answer happened-before queries, drive the concurrency
+// census and schedule-sensitivity report in internal/detect, and compute
+// recovery lines in internal/cut.
+package mixedclock

@@ -1,0 +1,121 @@
+// Bankledger tracks causality in a concurrent bank: teller goroutines apply
+// transfers between accounts, with every balance update timestamped by the
+// live tracker. Afterwards the ledger answers audit questions — did this
+// withdrawal observe that deposit, which updates were genuinely concurrent,
+// and which adjacent updates were ordered only by the account lock (so a
+// different schedule could have flipped them).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mixedclock"
+)
+
+const (
+	tellers   = 4
+	accounts  = 6
+	transfers = 12 // per teller
+)
+
+func main() {
+	tracker := mixedclock.NewTracker(mixedclock.WithMechanism(mixedclock.Popularity{}))
+
+	balances := make([]int, accounts)
+	objs := make([]*mixedclock.Object, accounts)
+	for i := range objs {
+		balances[i] = 100
+		objs[i] = tracker.NewObject(fmt.Sprintf("acct-%d", i))
+	}
+
+	// Each teller applies a deterministic (per-teller seed) sequence of
+	// transfers. Locks are taken in account order to avoid deadlock —
+	// standard banking discipline.
+	var wg sync.WaitGroup
+	for tid := 0; tid < tellers; tid++ {
+		th := tracker.NewThread(fmt.Sprintf("teller-%d", tid))
+		rng := rand.New(rand.NewSource(int64(100 + tid)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < transfers; k++ {
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				amount := 1 + rng.Intn(20)
+				lo, hi := from, to
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				// Debit and credit are separate object operations; the
+				// nested Do keeps the account locks ordered lo < hi.
+				th.Write(objs[lo], func() {
+					if lo == from {
+						balances[lo] -= amount
+					} else {
+						balances[lo] += amount
+					}
+				})
+				th.Write(objs[hi], func() {
+					if hi == from {
+						balances[hi] -= amount
+					} else {
+						balances[hi] += amount
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tracker.Err(); err != nil {
+		panic(err)
+	}
+
+	total := 0
+	for _, b := range balances {
+		total += b
+	}
+	fmt.Printf("ledger: %d updates across %d accounts by %d tellers (total balance %d, expect %d)\n",
+		tracker.Events(), accounts, tellers, total, accounts*100)
+	fmt.Printf("mixed clock grew to %d components: %v\n", tracker.Size(), tracker.Components())
+	fmt.Printf("(a thread clock would use %d, an object clock %d)\n\n", tellers, accounts)
+
+	// Audit 1: how much genuine concurrency did the run have?
+	tr := tracker.Trace()
+	stamps := tracker.Stamps()
+	fmt.Printf("census: %v\n", mixedclock.TakeCensus(stamps))
+
+	// Audit 2: which same-account update pairs were ordered only by the
+	// account lock? Their order was a scheduling accident.
+	pairs := mixedclock.ScheduleSensitivePairs(tr)
+	fmt.Printf("lock-only ordered update pairs: %d (showing up to 5)\n", len(pairs))
+	for i, p := range pairs {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %v\n", p)
+	}
+
+	// Audit 3: a concrete ordering question — did the first update observe
+	// the last one? (With a valid clock the answer is one comparison.)
+	first, last := 0, len(stamps)-1
+	rel := "is concurrent with"
+	switch {
+	case stamps[first].Less(stamps[last]):
+		rel = "happened before"
+	case stamps[last].Less(stamps[first]):
+		rel = "happened after"
+	}
+	fmt.Printf("\nupdate %d %v %s update %d %v\n", first, tr.At(first), rel, last, tr.At(last))
+
+	// The recorded stamps must form a valid vector clock for the recorded
+	// interleaving — the library's own checker proves it.
+	if err := mixedclock.Validate(tr, stamps, "bankledger"); err != nil {
+		panic(err)
+	}
+	fmt.Println("ledger timestamps validated against the happened-before oracle")
+}

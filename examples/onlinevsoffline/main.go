@@ -1,0 +1,88 @@
+// Onlinevsoffline compares the paper's online mechanisms (§IV) against the
+// offline optimum (§III) on two synthetic computations — one uniform, one
+// with a hot set — printing the clock-size table the paper's evaluation
+// builds its conclusions on: Popularity shines on sparse, skewed
+// computations; Naive wins once the access structure gets dense.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixedclock"
+)
+
+func main() {
+	fmt.Println("final vector-clock size by mechanism (50 threads x 50 objects)")
+	fmt.Println()
+	fmt.Printf("%-28s %8s %8s %8s %8s %8s\n",
+		"workload", "naive", "random", "popular", "hybrid", "offline")
+
+	for _, w := range []struct {
+		name string
+		gen  func(rng *rand.Rand) *mixedclock.Trace
+	}{
+		{"uniform sparse (80 ops)", func(rng *rand.Rand) *mixedclock.Trace {
+			return uniformTrace(rng, 80)
+		}},
+		{"uniform dense (2000 ops)", func(rng *rand.Rand) *mixedclock.Trace {
+			return uniformTrace(rng, 2000)
+		}},
+		{"hot-set sparse (300 ops)", func(rng *rand.Rand) *mixedclock.Trace {
+			return hotSetTrace(rng, 300)
+		}},
+		{"hot-set dense (3000 ops)", func(rng *rand.Rand) *mixedclock.Trace {
+			return hotSetTrace(rng, 3000)
+		}},
+	} {
+		tr := w.gen(rand.New(rand.NewSource(11)))
+		fmt.Printf("%-28s %8d %8d %8d %8d %8d\n",
+			w.name,
+			runMechanism(tr, mixedclock.NaiveThreads{}),
+			runMechanism(tr, mixedclock.Random{Rng: rand.New(rand.NewSource(5))}),
+			runMechanism(tr, mixedclock.Popularity{}),
+			runMechanism(tr, mixedclock.NewHybrid()),
+			mixedclock.AnalyzeTrace(tr).VectorSize(),
+		)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table (the paper's §V conclusions):")
+	fmt.Println("  - offline is the provable minimum (min vertex cover, Theorem 3)")
+	fmt.Println("  - on skewed computations (hot set), popularity/hybrid track the")
+	fmt.Println("    optimum and beat naive: hot objects cover many threads at once")
+	fmt.Println("  - on uniform computations no endpoint is predictably better, so")
+	fmt.Println("    popularity gains little; once most pairs interact (dense rows),")
+	fmt.Println("    anything but naive wastes components (the Fig. 4 crossover)")
+}
+
+// runMechanism replays tr through an online clock and returns its final
+// size.
+func runMechanism(tr *mixedclock.Trace, m mixedclock.Mechanism) int {
+	clk := mixedclock.NewOnlineClock(m)
+	for _, e := range tr.Events() {
+		clk.Timestamp(e)
+	}
+	return clk.Components()
+}
+
+func uniformTrace(rng *rand.Rand, events int) *mixedclock.Trace {
+	tr := mixedclock.NewTrace()
+	for i := 0; i < events; i++ {
+		tr.Append(mixedclock.ThreadID(rng.Intn(50)), mixedclock.ObjectID(rng.Intn(50)), mixedclock.OpWrite)
+	}
+	return tr
+}
+
+// hotSetTrace sends 80% of operations to 5 hot objects.
+func hotSetTrace(rng *rand.Rand, events int) *mixedclock.Trace {
+	tr := mixedclock.NewTrace()
+	for i := 0; i < events; i++ {
+		o := rng.Intn(50)
+		if rng.Float64() < 0.8 {
+			o = rng.Intn(5)
+		}
+		tr.Append(mixedclock.ThreadID(rng.Intn(50)), mixedclock.ObjectID(o), mixedclock.OpWrite)
+	}
+	return tr
+}

@@ -1,0 +1,74 @@
+// Recovery demonstrates the failure-recovery use-case from the paper's
+// introduction: a computation is timestamped with the optimal mixed clock;
+// when one operation turns out to be faulty (corrupted input, bad write),
+// the timestamps alone identify every causally contaminated operation and
+// the maximal consistent state — the recovery line — to roll back to.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixedclock"
+)
+
+func main() {
+	// A small data-processing run: eight workers funnel through two shared
+	// hot partitions, and two of them also maintain private partitions —
+	// the access shape where a mixed clock is much smaller than either
+	// classical clock. Deterministic seed keeps the narrative stable.
+	rng := rand.New(rand.NewSource(7))
+	tr := mixedclock.NewTrace()
+	for i := 0; i < 28; i++ {
+		t := rng.Intn(8)
+		o := rng.Intn(2) // hot partitions O1, O2
+		if t < 2 && rng.Float64() < 0.5 {
+			o = 2 + t // worker T1's private O3, T2's private O4
+		}
+		tr.Append(
+			mixedclock.ThreadID(t),
+			mixedclock.ObjectID(o),
+			mixedclock.OpWrite,
+		)
+	}
+
+	a := mixedclock.AnalyzeTrace(tr)
+	stamps := mixedclock.Run(tr, a.NewClock())
+	fmt.Printf("computation: %v\n", tr.Summarize())
+	fmt.Printf("optimal mixed clock: %d components %v\n\n", a.VectorSize(), a.Components)
+
+	// Failure: operation 9 wrote garbage.
+	const bad = 9
+	fmt.Printf("fault detected at event %d %v\n\n", bad, tr.At(bad))
+
+	// Every event that could have observed the bad write, from timestamp
+	// comparisons alone (Theorem 2: bad → e ⇔ V(bad) < V(e)).
+	contaminated := mixedclock.Contaminated(stamps, bad)
+	fmt.Printf("causally contaminated events (%d of %d):\n", len(contaminated), tr.Len())
+	for _, i := range contaminated {
+		fmt.Printf("  e%-2d %v  %v\n", i, tr.At(i), stamps[i])
+	}
+
+	// The recovery line: the maximal consistent cut excluding the fault.
+	line, err := mixedclock.RecoveryLine(tr, stamps, bad)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nrecovery line: %v\n", line)
+	fmt.Printf("events surviving rollback: %d of %d\n", line.Size(), tr.Len())
+	if !mixedclock.IsConsistentCut(tr, line) {
+		panic("recovery line must be consistent")
+	}
+	fmt.Println("verified: the recovery line is a consistent global state")
+
+	// Contrast: a cut that naively keeps everything before the fault in
+	// trace order is NOT generally consistent per-thread... but a cut that
+	// keeps one extra event on the faulty thread definitely is not:
+	badThread := tr.At(bad).Thread
+	tooGreedy := mixedclock.Cut{PerThread: append([]int(nil), line.PerThread...)}
+	tooGreedy.PerThread[badThread]++ // re-admit the faulty event
+	fmt.Printf("\nre-admitting the faulty event gives %v: consistent? %v\n",
+		tooGreedy, mixedclock.IsConsistentCut(tr, tooGreedy))
+	fmt.Println("(it is a consistent cut of the graph, but it contains the fault —")
+	fmt.Println(" the recovery line is the largest consistent cut that does not)")
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"fmt"
+
+	"mixedclock/internal/vclock"
+)
+
+// Delta is a sparse vector-clock update: only the components that changed
+// since the previous transmission on the same channel, as (index, value)
+// pairs. This is the Singhal–Kshemkalyani technique (§VI of the paper):
+// orthogonal to the choice of components, so it applies to thread-based,
+// object-based and mixed clocks alike.
+type Delta struct {
+	Entries []DeltaEntry
+}
+
+// DeltaEntry carries one changed component.
+type DeltaEntry struct {
+	Index int
+	Value uint64
+}
+
+// Ints returns the number of integers on the wire: two per entry (index and
+// value). Comparing against len(full vector) quantifies the saving.
+func (d Delta) Ints() int { return 2 * len(d.Entries) }
+
+// DeltaEncoder emits sparse updates per directed channel. A channel is any
+// stable identifier for a (sender, receiver) pair — in the shared-memory
+// reading, a thread→object or object→thread edge.
+//
+// The zero value is ready to use.
+type DeltaEncoder struct {
+	last map[string]vclock.Vector
+}
+
+// Encode returns the components of v that differ from the previous vector
+// encoded on channel, then remembers v as the new baseline for that channel.
+func (e *DeltaEncoder) Encode(channel string, v vclock.Vector) Delta {
+	if e.last == nil {
+		e.last = make(map[string]vclock.Vector)
+	}
+	prev := e.last[channel]
+	var d Delta
+	for i := 0; i < len(v); i++ {
+		if v[i] != prev.At(i) {
+			d.Entries = append(d.Entries, DeltaEntry{Index: i, Value: v[i]})
+		}
+	}
+	e.last[channel] = v.Clone()
+	return d
+}
+
+// DeltaDecoder reconstructs full vectors from sparse updates, mirroring the
+// per-channel state of the encoder. The zero value is ready to use.
+type DeltaDecoder struct {
+	last map[string]vclock.Vector
+}
+
+// Decode applies d to the channel's previous vector and returns the
+// reconstructed full vector.
+//
+// Decoding is exact only when updates arrive in order and none are lost —
+// the FIFO-channel assumption of Singhal–Kshemkalyani. Out-of-order deltas
+// surface as validation failures in the round-trip tests, not silent
+// corruption, because values are absolute (not increments).
+func (dec *DeltaDecoder) Decode(channel string, d Delta) vclock.Vector {
+	if dec.last == nil {
+		dec.last = make(map[string]vclock.Vector)
+	}
+	v := dec.last[channel].Clone()
+	for _, ent := range d.Entries {
+		v = v.Set(ent.Index, ent.Value)
+	}
+	dec.last[channel] = v.Clone()
+	return v
+}
+
+// String renders the delta as "{i:v, ...}".
+func (d Delta) String() string {
+	out := "{"
+	for i, ent := range d.Entries {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%d:%d", ent.Index, ent.Value)
+	}
+	return out + "}"
+}

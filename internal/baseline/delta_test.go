@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/clock"
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+func TestDeltaRoundTripSingleChannel(t *testing.T) {
+	var enc DeltaEncoder
+	var dec DeltaDecoder
+	seq := []vclock.Vector{
+		{1, 0, 0},
+		{2, 0, 0},
+		{2, 3, 1},
+		{2, 3, 1}, // unchanged → empty delta
+		{5, 3, 2},
+	}
+	for i, v := range seq {
+		d := enc.Encode("ch", v)
+		got := dec.Decode("ch", d)
+		if !got.Equal(v) {
+			t.Fatalf("step %d: decoded %v, want %v", i, got, v)
+		}
+	}
+}
+
+func TestDeltaEmptyForUnchanged(t *testing.T) {
+	var enc DeltaEncoder
+	enc.Encode("ch", vclock.Vector{1, 2})
+	d := enc.Encode("ch", vclock.Vector{1, 2})
+	if len(d.Entries) != 0 {
+		t.Fatalf("unchanged vector produced delta %v", d)
+	}
+	if d.Ints() != 0 {
+		t.Fatalf("Ints = %d", d.Ints())
+	}
+}
+
+func TestDeltaFirstSendIsSparse(t *testing.T) {
+	// First transmission only carries nonzero components — the initial
+	// baseline is the zero vector.
+	var enc DeltaEncoder
+	d := enc.Encode("ch", vclock.Vector{0, 7, 0, 1})
+	if len(d.Entries) != 2 {
+		t.Fatalf("first delta %v, want 2 entries", d)
+	}
+	if d.Ints() != 4 {
+		t.Fatalf("Ints = %d, want 4", d.Ints())
+	}
+}
+
+func TestDeltaChannelsIndependent(t *testing.T) {
+	var enc DeltaEncoder
+	enc.Encode("a", vclock.Vector{5, 5})
+	d := enc.Encode("b", vclock.Vector{5, 5})
+	if len(d.Entries) != 2 {
+		t.Fatalf("channel b should start from zero, got delta %v", d)
+	}
+}
+
+func TestDeltaGrowingVectors(t *testing.T) {
+	var enc DeltaEncoder
+	var dec DeltaDecoder
+	d := enc.Encode("ch", vclock.Vector{1})
+	if got := dec.Decode("ch", d); !got.Equal(vclock.Vector{1}) {
+		t.Fatalf("decoded %v", got)
+	}
+	// The vector grows a component (online mixed clock behaviour).
+	d = enc.Encode("ch", vclock.Vector{1, 4})
+	if got := dec.Decode("ch", d); !got.Equal(vclock.Vector{1, 4}) {
+		t.Fatalf("decoded %v after growth", got)
+	}
+}
+
+func TestDeltaRoundTripRandomTrace(t *testing.T) {
+	// Round-trip correctness on a uniform random workload: every event's
+	// timestamp, sent as a delta on its (thread → object) channel, must
+	// reconstruct exactly. (No savings asserted here — uniform access with
+	// narrow vectors is the technique's worst case.)
+	rng := rand.New(rand.NewSource(33))
+	tr := randomTrace(rng, 5, 5, 300)
+	c := NewThreadClock(5, 5)
+	stamps := clock.Run(tr, c)
+
+	var enc DeltaEncoder
+	var dec DeltaDecoder
+	for i, e := range tr.Events() {
+		ch := fmt.Sprintf("%v->%v", e.Thread, e.Object)
+		d := enc.Encode(ch, stamps[i])
+		got := dec.Decode(ch, d)
+		if !got.Equal(stamps[i]) {
+			t.Fatalf("event %d: decoded %v, want %v", i, got, stamps[i])
+		}
+	}
+}
+
+func TestDeltaSavesOnBurstyWorkload(t *testing.T) {
+	// Singhal–Kshemkalyani pays off when consecutive transmissions on a
+	// channel differ in few components: wide vectors plus bursty access.
+	// Each thread performs runs of operations on one object before moving
+	// on, so on a repeated channel only the thread's own component moved.
+	const nThreads, nObjects, bursts, burstLen = 20, 20, 30, 10
+	rng := rand.New(rand.NewSource(34))
+	tr := event.NewTrace()
+	for b := 0; b < bursts; b++ {
+		for tid := 0; tid < nThreads; tid++ {
+			obj := event.ObjectID(rng.Intn(nObjects))
+			for k := 0; k < burstLen; k++ {
+				tr.Append(event.ThreadID(tid), obj, event.OpWrite)
+			}
+		}
+	}
+	stamps := clock.Run(tr, NewThreadClock(nThreads, nObjects))
+
+	var enc DeltaEncoder
+	var dec DeltaDecoder
+	fullInts, deltaInts := 0, 0
+	for i, e := range tr.Events() {
+		ch := fmt.Sprintf("%v->%v", e.Thread, e.Object)
+		d := enc.Encode(ch, stamps[i])
+		if got := dec.Decode(ch, d); !got.Equal(stamps[i]) {
+			t.Fatalf("event %d: decoded %v, want %v", i, got, stamps[i])
+		}
+		fullInts += len(stamps[i])
+		deltaInts += d.Ints()
+	}
+	if deltaInts*2 > fullInts {
+		t.Fatalf("expected ≥2× saving on bursty workload: %d delta ints vs %d full ints",
+			deltaInts, fullInts)
+	}
+}
+
+func TestDeltaString(t *testing.T) {
+	d := Delta{Entries: []DeltaEntry{{Index: 0, Value: 3}, {Index: 2, Value: 1}}}
+	if got := d.String(); got != "{0:3, 2:1}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Delta{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}

@@ -1,0 +1,199 @@
+package bipartite
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scenario selects one of the paper's two evaluation graph families (§V).
+type Scenario int
+
+const (
+	// Uniform adds each possible edge independently with the same
+	// probability, so every thread and object has the same expected
+	// popularity.
+	Uniform Scenario = iota + 1
+	// Nonuniform marks a small fraction of threads and objects "hot";
+	// edges touching a hot endpoint are boost× more likely, while the
+	// overall expected density is preserved.
+	Nonuniform
+)
+
+// String returns "uniform" or "nonuniform".
+func (s Scenario) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case Nonuniform:
+		return "nonuniform"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// GenConfig parameterizes random graph generation. The zero value is not
+// useful; fill in NThreads, NObjects and Density at minimum.
+type GenConfig struct {
+	NThreads int
+	NObjects int
+	// Density is the expected fraction of present edges in [0, 1].
+	Density  float64
+	Scenario Scenario
+	// HotFraction is the fraction of each side marked hot in the
+	// Nonuniform scenario (default 0.1).
+	HotFraction float64
+	// HotBoost is how many times more likely an edge is when at least one
+	// endpoint is hot (default 16).
+	HotBoost float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Scenario == 0 {
+		c.Scenario = Uniform
+	}
+	if c.HotFraction == 0 {
+		c.HotFraction = 0.1
+	}
+	if c.HotBoost == 0 {
+		c.HotBoost = 16
+	}
+	return c
+}
+
+// Validate reports the first invalid field.
+func (c GenConfig) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.NThreads < 0 || c.NObjects < 0:
+		return fmt.Errorf("bipartite: negative side size (%d, %d)", c.NThreads, c.NObjects)
+	case c.Density < 0 || c.Density > 1:
+		return fmt.Errorf("bipartite: density %f outside [0,1]", c.Density)
+	case c.Scenario != Uniform && c.Scenario != Nonuniform:
+		return fmt.Errorf("bipartite: unknown scenario %d", int(c.Scenario))
+	case c.HotFraction < 0 || c.HotFraction > 1:
+		return fmt.Errorf("bipartite: hot fraction %f outside [0,1]", c.HotFraction)
+	case c.HotBoost < 1:
+		return fmt.Errorf("bipartite: hot boost %f below 1", c.HotBoost)
+	}
+	return nil
+}
+
+// Generate builds a random thread–object graph according to cfg, using rng
+// for all randomness (same seed ⇒ same graph).
+func Generate(cfg GenConfig, rng *rand.Rand) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := New(cfg.NThreads, cfg.NObjects)
+	switch cfg.Scenario {
+	case Uniform:
+		for t := 0; t < cfg.NThreads; t++ {
+			for o := 0; o < cfg.NObjects; o++ {
+				if rng.Float64() < cfg.Density {
+					g.AddEdge(t, o)
+				}
+			}
+		}
+	case Nonuniform:
+		hotT := int(float64(cfg.NThreads) * cfg.HotFraction)
+		hotO := int(float64(cfg.NObjects) * cfg.HotFraction)
+		pCold, pHot := nonuniformProbs(cfg, hotT, hotO)
+		for t := 0; t < cfg.NThreads; t++ {
+			for o := 0; o < cfg.NObjects; o++ {
+				p := pCold
+				if t < hotT || o < hotO {
+					p = pHot
+				}
+				if rng.Float64() < p {
+					g.AddEdge(t, o)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// nonuniformProbs solves for the cold edge probability so that the expected
+// density of the Nonuniform graph matches cfg.Density:
+//
+//	hotPairs·min(1, boost·p) + coldPairs·p = density·allPairs
+//
+// where a pair is hot when either endpoint is hot. The first hotT threads and
+// hotO objects are the hot sets (the caller shuffles reveal order downstream,
+// so fixed positions lose no generality).
+func nonuniformProbs(cfg GenConfig, hotT, hotO int) (pCold, pHot float64) {
+	total := float64(cfg.NThreads * cfg.NObjects)
+	if total == 0 {
+		return 0, 0
+	}
+	coldPairs := float64((cfg.NThreads - hotT) * (cfg.NObjects - hotO))
+	hotPairs := total - coldPairs
+	want := cfg.Density * total
+	// Assume the hot probability is unsaturated first.
+	p := want / (hotPairs*cfg.HotBoost + coldPairs)
+	if cfg.HotBoost*p <= 1 {
+		return p, cfg.HotBoost * p
+	}
+	// Hot pairs saturate at probability 1; put the remainder on cold pairs.
+	pHot = 1
+	if coldPairs > 0 {
+		pCold = (want - hotPairs) / coldPairs
+		if pCold < 0 {
+			pCold = 0
+		}
+		if pCold > 1 {
+			pCold = 1
+		}
+	}
+	return pCold, pHot
+}
+
+// GenerateZipf builds a graph where each thread draws k distinct objects from
+// a Zipf distribution over objects (skew s > 1). It models contended hot
+// objects — an alternative nonuniform family used by the extra ablations.
+func GenerateZipf(nThreads, nObjects, objectsPerThread int, skew float64, rng *rand.Rand) (*Graph, error) {
+	if nThreads < 0 || nObjects < 0 {
+		return nil, fmt.Errorf("bipartite: negative side size (%d, %d)", nThreads, nObjects)
+	}
+	if objectsPerThread < 0 {
+		return nil, fmt.Errorf("bipartite: negative objects per thread %d", objectsPerThread)
+	}
+	if skew <= 1 {
+		return nil, fmt.Errorf("bipartite: zipf skew %f must exceed 1", skew)
+	}
+	g := New(nThreads, nObjects)
+	if nObjects == 0 {
+		return g, nil
+	}
+	z := rand.NewZipf(rng, skew, 1, uint64(nObjects-1))
+	if objectsPerThread > nObjects {
+		objectsPerThread = nObjects
+	}
+	for t := 0; t < nThreads; t++ {
+		picked := make(map[int]struct{}, objectsPerThread)
+		// Rejection-sample distinct objects; cap attempts so pathological
+		// skews cannot loop forever, falling back to a linear scan.
+		for attempts := 0; len(picked) < objectsPerThread && attempts < 64*objectsPerThread; attempts++ {
+			picked[int(z.Uint64())] = struct{}{}
+		}
+		for o := 0; len(picked) < objectsPerThread; o++ {
+			picked[o%nObjects] = struct{}{}
+		}
+		for o := range picked {
+			g.AddEdge(t, o)
+		}
+	}
+	return g, nil
+}
+
+// RevealOrder returns the graph's edges in a random order, modelling the
+// online setting where the computation reveals one event (first operation on
+// each new thread–object pair) at a time.
+func (g *Graph) RevealOrder(rng *rand.Rand) []Edge {
+	edges := g.EdgeList()
+	rng.Shuffle(len(edges), func(i, j int) {
+		edges[i], edges[j] = edges[j], edges[i]
+	})
+	return edges
+}

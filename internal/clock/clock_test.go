@@ -1,0 +1,133 @@
+package clock
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+// scalarClock is a deliberately broken scheme: a single Lamport counter.
+// It orders everything totally, so it must fail validation on any
+// computation with concurrent events.
+type scalarClock struct {
+	threads map[event.ThreadID]vclock.Vector
+	objects map[event.ObjectID]vclock.Vector
+}
+
+func newScalarClock() *scalarClock {
+	return &scalarClock{
+		threads: make(map[event.ThreadID]vclock.Vector),
+		objects: make(map[event.ObjectID]vclock.Vector),
+	}
+}
+
+func (c *scalarClock) Timestamp(e event.Event) vclock.Vector {
+	v := c.threads[e.Thread].Merge(c.objects[e.Object]).Tick(0)
+	c.threads[e.Thread] = v
+	c.objects[e.Object] = v
+	return v.Clone()
+}
+
+func (c *scalarClock) Components() int { return 1 }
+func (c *scalarClock) Name() string    { return "scalar" }
+
+// constantClock returns the same vector for every event — violates
+// distinctness.
+type constantClock struct{}
+
+func (constantClock) Timestamp(event.Event) vclock.Vector { return vclock.Vector{1} }
+func (constantClock) Components() int                     { return 1 }
+func (constantClock) Name() string                        { return "constant" }
+
+func concurrentTrace() *event.Trace {
+	tr := event.NewTrace()
+	tr.Append(0, 0, event.OpWrite)
+	tr.Append(1, 1, event.OpWrite) // concurrent with event 0
+	return tr
+}
+
+func TestRunProducesOneStampPerEvent(t *testing.T) {
+	tr := concurrentTrace()
+	stamps := Run(tr, newScalarClock())
+	if len(stamps) != tr.Len() {
+		t.Fatalf("Run returned %d stamps for %d events", len(stamps), tr.Len())
+	}
+}
+
+func TestValidateAcceptsValidScheme(t *testing.T) {
+	// A scalar clock on a single-threaded, single-object computation is a
+	// valid vector clock (the poset is a chain).
+	tr := event.NewTrace()
+	for i := 0; i < 5; i++ {
+		tr.Append(0, 0, event.OpWrite)
+	}
+	if err := Validate(tr, Run(tr, newScalarClock()), "scalar"); err != nil {
+		t.Fatalf("valid-on-chain scheme rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsScalarOnConcurrency(t *testing.T) {
+	tr := concurrentTrace()
+	err := Validate(tr, Run(tr, newScalarClock()), "scalar")
+	if err == nil {
+		t.Fatal("scalar clock accepted on concurrent computation")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error type %T, want *ValidationError", err)
+	}
+	if verr.Want != "concurrent" {
+		t.Errorf("Want = %q, want concurrent", verr.Want)
+	}
+	if !strings.Contains(verr.Error(), "scalar") {
+		t.Errorf("Error() = %q should name the scheme", verr.Error())
+	}
+}
+
+func TestValidateRejectsEqualStamps(t *testing.T) {
+	tr := concurrentTrace()
+	if err := Validate(tr, Run(tr, constantClock{}), "constant"); err == nil {
+		t.Fatal("constant clock accepted")
+	}
+}
+
+func TestValidateRejectsWrongCount(t *testing.T) {
+	tr := concurrentTrace()
+	if err := Validate(tr, []vclock.Vector{{1}}, "short"); err == nil {
+		t.Fatal("wrong stamp count accepted")
+	}
+}
+
+func TestValidateRejectsMissingOrder(t *testing.T) {
+	// Hand-build stamps that claim two causally ordered events are
+	// concurrent.
+	tr := event.NewTrace()
+	tr.Append(0, 0, event.OpWrite)
+	tr.Append(0, 0, event.OpWrite) // same thread: 0 → 1
+	stamps := []vclock.Vector{{1, 0}, {0, 1}}
+	err := Validate(tr, stamps, "bogus")
+	if err == nil {
+		t.Fatal("missing order accepted")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error type %T", err)
+	}
+	if verr.Want != "happened-before" || verr.Got != vclock.Concurrent {
+		t.Errorf("verdicts: want %q got %v", verr.Want, verr.Got)
+	}
+}
+
+func TestRunAndValidate(t *testing.T) {
+	tr := concurrentTrace()
+	stamps, err := RunAndValidate(tr, newScalarClock())
+	if err == nil {
+		t.Fatal("RunAndValidate accepted scalar clock")
+	}
+	if len(stamps) != tr.Len() {
+		t.Fatal("stamps not returned alongside error")
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"mixedclock/internal/matching"
+)
+
+func TestComponentString(t *testing.T) {
+	tests := []struct {
+		c    Component
+		want string
+	}{
+		{ThreadComponent(1), "T2"},
+		{ObjectComponent(2), "O3"},
+		{Component{}, "Component(0,0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("%+v.String() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestComponentSetAddIdempotent(t *testing.T) {
+	s := NewComponentSet()
+	i1 := s.Add(ThreadComponent(3))
+	i2 := s.Add(ThreadComponent(3))
+	if i1 != i2 {
+		t.Fatalf("re-adding gave different index: %d vs %d", i1, i2)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestComponentSetOrderIsInsertion(t *testing.T) {
+	s := NewComponentSet()
+	s.Add(ObjectComponent(5))
+	s.Add(ThreadComponent(0))
+	if s.At(0) != ObjectComponent(5) || s.At(1) != ThreadComponent(0) {
+		t.Fatalf("order wrong: %v", s.Components())
+	}
+	if i, ok := s.IndexOf(ThreadComponent(0)); !ok || i != 1 {
+		t.Fatalf("IndexOf = %d, %v", i, ok)
+	}
+	if _, ok := s.IndexOf(ObjectComponent(0)); ok {
+		t.Fatal("absent component found")
+	}
+}
+
+func TestComponentSetZeroValue(t *testing.T) {
+	var s ComponentSet
+	if s.Len() != 0 || s.Contains(ThreadComponent(0)) {
+		t.Fatal("zero value not empty")
+	}
+	s.Add(ThreadComponent(0))
+	if !s.Contains(ThreadComponent(0)) {
+		t.Fatal("Add on zero value failed")
+	}
+}
+
+func TestComponentSetCovers(t *testing.T) {
+	s := NewComponentSet()
+	s.Add(ThreadComponent(1))
+	s.Add(ObjectComponent(2))
+	tests := []struct {
+		t, o int
+		want bool
+	}{
+		{1, 0, true},  // thread covered
+		{0, 2, true},  // object covered
+		{1, 2, true},  // both covered
+		{0, 0, false}, // neither
+	}
+	for _, tt := range tests {
+		if got := s.Covers(toThread(tt.t), toObject(tt.o)); got != tt.want {
+			t.Errorf("Covers(T%d, O%d) = %v, want %v", tt.t+1, tt.o+1, got, tt.want)
+		}
+	}
+}
+
+func TestComponentSetStringNormalized(t *testing.T) {
+	s := NewComponentSet()
+	s.Add(ObjectComponent(2))
+	s.Add(ThreadComponent(1))
+	s.Add(ObjectComponent(1))
+	if got := s.String(); got != "{T2, O2, O3}" {
+		t.Errorf("String = %q, want {T2, O2, O3}", got)
+	}
+	if got := NewComponentSet().String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestComponentsReturnsCopy(t *testing.T) {
+	s := NewComponentSet()
+	s.Add(ThreadComponent(0))
+	cs := s.Components()
+	cs[0] = ObjectComponent(9)
+	if s.At(0) != ThreadComponent(0) {
+		t.Fatal("Components() leaked internal storage")
+	}
+}
+
+func TestFromCoverOrder(t *testing.T) {
+	cover := &matching.Cover{Threads: []int{0, 1}, Objects: []int{2}}
+	s := FromCover(cover)
+	want := []Component{ThreadComponent(0), ThreadComponent(1), ObjectComponent(2)}
+	got := s.Components()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("component %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

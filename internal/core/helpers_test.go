@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+
+	"mixedclock/internal/event"
+)
+
+// toThread and toObject shorten test tables.
+func toThread(i int) event.ThreadID { return event.ThreadID(i) }
+func toObject(i int) event.ObjectID { return event.ObjectID(i) }
+
+// randomTrace generates a computation with uniformly random events.
+func randomTrace(rng *rand.Rand, threads, objects, events int) *event.Trace {
+	tr := event.NewTrace()
+	for i := 0; i < events; i++ {
+		op := event.OpWrite
+		if rng.Intn(4) == 0 {
+			op = event.OpRead
+		}
+		tr.Append(event.ThreadID(rng.Intn(threads)), event.ObjectID(rng.Intn(objects)), op)
+	}
+	return tr
+}
+
+// paperTrace reconstructs the computation of the paper's Fig. 1: four
+// threads on four objects whose bipartite graph (Fig. 2) has minimum vertex
+// cover size 3. Event order is one legal interleaving.
+func paperTrace() *event.Trace {
+	tr := event.NewTrace()
+	tr.Append(1, 0, event.OpWrite) // [T2, O1]
+	tr.Append(0, 1, event.OpWrite) // [T1, O2]
+	tr.Append(1, 2, event.OpWrite) // [T2, O3]
+	tr.Append(2, 2, event.OpWrite) // [T3, O3]
+	tr.Append(3, 1, event.OpWrite) // [T4, O2]
+	tr.Append(1, 1, event.OpWrite) // [T2, O2]
+	tr.Append(2, 1, event.OpWrite) // [T3, O2]
+	tr.Append(1, 3, event.OpWrite) // [T2, O4]
+	return tr
+}

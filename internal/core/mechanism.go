@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixedclock/internal/bipartite"
+)
+
+// Mechanism decides, for a newly revealed event whose edge is not yet
+// covered, whether the event's thread or its object joins the component set
+// (§IV). Choose is consulted only in that situation: if either endpoint is
+// already a component the vector clock stays unchanged.
+//
+// The graph passed to Choose is the computation revealed so far, including
+// the new edge.
+type Mechanism interface {
+	Name() string
+	Choose(g *bipartite.Graph, t, o int) bipartite.Side
+}
+
+// NaiveThreads always picks the thread — the paper's first Naive variant,
+// which degenerates to the classical thread-based clock (one component per
+// active thread).
+type NaiveThreads struct{}
+
+// Name implements Mechanism.
+func (NaiveThreads) Name() string { return "naive/threads" }
+
+// Choose implements Mechanism.
+func (NaiveThreads) Choose(*bipartite.Graph, int, int) bipartite.Side { return bipartite.Threads }
+
+// NaiveObjects always picks the object, degenerating to the object-based
+// clock.
+type NaiveObjects struct{}
+
+// Name implements Mechanism.
+func (NaiveObjects) Name() string { return "naive/objects" }
+
+// Choose implements Mechanism.
+func (NaiveObjects) Choose(*bipartite.Graph, int, int) bipartite.Side { return bipartite.Objects }
+
+// Random picks the thread or the object with equal probability (§IV,
+// mechanism 2). The RNG is explicit so runs are reproducible.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Mechanism.
+func (Random) Name() string { return "random" }
+
+// Choose implements Mechanism.
+func (r Random) Choose(*bipartite.Graph, int, int) bipartite.Side {
+	if r.Rng.Intn(2) == 0 {
+		return bipartite.Threads
+	}
+	return bipartite.Objects
+}
+
+// Popularity picks whichever endpoint is more popular on the graph revealed
+// so far — pop(v) = deg(v)/|E|, Definition 1 — predicting that popular
+// vertices will cover more future edges. Ties go to the thread ("otherwise,
+// we choose the thread").
+type Popularity struct{}
+
+// Name implements Mechanism.
+func (Popularity) Name() string { return "popularity" }
+
+// Choose implements Mechanism.
+func (Popularity) Choose(g *bipartite.Graph, t, o int) bipartite.Side {
+	// Both degrees include the new edge; |E| cancels in the comparison.
+	if g.ObjectDegree(o) > g.ThreadDegree(t) {
+		return bipartite.Objects
+	}
+	return bipartite.Threads
+}
+
+// Hybrid is the practical mechanism the paper's evaluation concludes with:
+// use Primary (typically Popularity) while the revealed graph is small and
+// sparse, and fall back to Fallback (typically NaiveThreads) once the graph
+// density or the node count crosses its threshold, where the naive approach
+// wins (Figs. 4–5).
+type Hybrid struct {
+	Primary  Mechanism
+	Fallback Mechanism
+	// MaxDensity is the revealed-graph density above which Fallback takes
+	// over. Zero means DefaultMaxDensity.
+	MaxDensity float64
+	// MaxNodes is the revealed node count (threads + objects) above which
+	// Fallback takes over. Zero means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// Defaults for Hybrid, taken from where the paper's curves cross: density
+// ≈0.2 in Fig. 4 and ≈70 nodes per side (140 total) in Fig. 5.
+const (
+	DefaultMaxDensity = 0.2
+	DefaultMaxNodes   = 140
+)
+
+// NewHybrid returns the paper's recommended configuration:
+// Popularity first, NaiveThreads beyond the default thresholds.
+func NewHybrid() Hybrid {
+	return Hybrid{Primary: Popularity{}, Fallback: NaiveThreads{}}
+}
+
+// Name implements Mechanism.
+func (h Hybrid) Name() string {
+	return fmt.Sprintf("hybrid(%s→%s)", h.primary().Name(), h.fallback().Name())
+}
+
+func (h Hybrid) primary() Mechanism {
+	if h.Primary == nil {
+		return Popularity{}
+	}
+	return h.Primary
+}
+
+func (h Hybrid) fallback() Mechanism {
+	if h.Fallback == nil {
+		return NaiveThreads{}
+	}
+	return h.Fallback
+}
+
+func (h Hybrid) maxDensity() float64 {
+	if h.MaxDensity == 0 {
+		return DefaultMaxDensity
+	}
+	return h.MaxDensity
+}
+
+func (h Hybrid) maxNodes() int {
+	if h.MaxNodes == 0 {
+		return DefaultMaxNodes
+	}
+	return h.MaxNodes
+}
+
+// Choose implements Mechanism.
+func (h Hybrid) Choose(g *bipartite.Graph, t, o int) bipartite.Side {
+	if g.Density() > h.maxDensity() || g.NThreads()+g.NObjects() > h.maxNodes() {
+		return h.fallback().Choose(g, t, o)
+	}
+	return h.primary().Choose(g, t, o)
+}

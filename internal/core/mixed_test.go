@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/clock"
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+func TestMixedClockPaperTimestamps(t *testing.T) {
+	// Timestamp the Fig. 1 computation with the paper's own component
+	// choice {T2, O2, O3} (components in that order) and check the update
+	// rule by hand. Initially all vectors are [0,0,0].
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(1)) // T2 → index 0
+	comps.Add(ObjectComponent(1)) // O2 → index 1
+	comps.Add(ObjectComponent(2)) // O3 → index 2
+	mc := NewMixedClock(comps)
+
+	tr := paperTrace()
+	stamps := clock.Run(tr, mc)
+	if mc.Err() != nil {
+		t.Fatalf("uncovered event: %v", mc.Err())
+	}
+
+	want := []vclock.Vector{
+		{1, 0, 0}, // [T2,O1]: only T2 in cover
+		{0, 1, 0}, // [T1,O2]: only O2 in cover
+		{2, 0, 1}, // [T2,O3]: both T2 and O3 tick, after merging [1,0,0]
+		{2, 0, 2}, // [T3,O3]: O3 ticks over [2,0,1]
+		{0, 2, 0}, // [T4,O2]: O2 ticks over [0,1,0]
+		{3, 3, 1}, // [T2,O2]: merge([2,0,1],[0,2,0]) then tick O2 and T2
+		{3, 4, 2}, // [T3,O2]: merge([2,0,2],[3,3,1]) then tick O2
+		{4, 3, 1}, // [T2,O4]: T2 ticks over [3,3,1]
+	}
+	for i, w := range want {
+		if !stamps[i].Equal(w) {
+			t.Errorf("event %d %v: stamp %v, want %v", i, tr.At(i), stamps[i], w)
+		}
+	}
+
+	// The paper's §III-C example inference: [T2,O1] → [T3,O3] must follow
+	// from the timestamps alone.
+	if !stamps[0].Less(stamps[3]) {
+		t.Errorf("[T2,O1] %v should be less than [T3,O3] %v", stamps[0], stamps[3])
+	}
+}
+
+func TestMixedClockValidityOnPaperComputation(t *testing.T) {
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(1))
+	comps.Add(ObjectComponent(1))
+	comps.Add(ObjectComponent(2))
+	if _, err := clock.RunAndValidate(paperTrace(), NewMixedClock(comps)); err != nil {
+		t.Fatalf("paper component set invalid: %v", err)
+	}
+}
+
+func TestMixedClockValidityRandom(t *testing.T) {
+	// Theorem 2 as a property test: the offline mixed clock must be a valid
+	// vector clock on arbitrary computations.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		tr := randomTrace(rng, 2+rng.Intn(6), 2+rng.Intn(6), 10+rng.Intn(60))
+		a := AnalyzeTrace(tr)
+		if err := a.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mc := a.NewClock()
+		if _, err := clock.RunAndValidate(tr, mc); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if mc.Err() != nil {
+			t.Fatalf("trial %d: %v", trial, mc.Err())
+		}
+	}
+}
+
+func TestMixedClockBothEndpointsTick(t *testing.T) {
+	// When both the thread and the object are components, the rule of
+	// §III-C increments both.
+	comps := NewComponentSet()
+	it := comps.Add(ThreadComponent(0))
+	io := comps.Add(ObjectComponent(0))
+	mc := NewMixedClock(comps)
+	v := mc.Timestamp(event.Event{Index: 0, Thread: 0, Object: 0})
+	if v.At(it) != 1 || v.At(io) != 1 {
+		t.Fatalf("stamp %v: both components should tick", v)
+	}
+}
+
+func TestMixedClockErrOnUncoveredEvent(t *testing.T) {
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(0))
+	mc := NewMixedClock(comps)
+	mc.Timestamp(event.Event{Index: 0, Thread: 0, Object: 0}) // covered
+	if mc.Err() != nil {
+		t.Fatalf("covered event raised error: %v", mc.Err())
+	}
+	mc.Timestamp(event.Event{Index: 1, Thread: 1, Object: 0}) // uncovered
+	if mc.Err() == nil {
+		t.Fatal("uncovered event not reported")
+	}
+}
+
+func TestMixedClockThreadObjectVectors(t *testing.T) {
+	// After an event, both the thread and the object adopt the event's
+	// vector (§III-C: "Both thread p and object q update their
+	// mix-vector-clock to be e.v").
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(0))
+	mc := NewMixedClock(comps)
+	v := mc.Timestamp(event.Event{Index: 0, Thread: 0, Object: 2})
+	if !mc.ThreadVector(0).Equal(v) {
+		t.Errorf("thread vector %v != event vector %v", mc.ThreadVector(0), v)
+	}
+	if !mc.ObjectVector(2).Equal(v) {
+		t.Errorf("object vector %v != event vector %v", mc.ObjectVector(2), v)
+	}
+	// Vectors returned are copies.
+	tv := mc.ThreadVector(0)
+	if len(tv) > 0 {
+		tv[0] = 99
+		if mc.ThreadVector(0).At(0) == 99 {
+			t.Error("ThreadVector leaked internal storage")
+		}
+	}
+}
+
+func TestMixedClockStampIsCopy(t *testing.T) {
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(0))
+	mc := NewMixedClock(comps)
+	v1 := mc.Timestamp(event.Event{Index: 0, Thread: 0, Object: 0})
+	v1[0] = 1000
+	v2 := mc.Timestamp(event.Event{Index: 1, Thread: 0, Object: 0})
+	if v2.At(0) != 2 {
+		t.Fatalf("mutating a returned stamp corrupted the clock: next stamp %v", v2)
+	}
+}
+
+func TestMixedClockName(t *testing.T) {
+	mc := NewMixedClock(NewComponentSet())
+	if mc.Name() != "mixed/offline" {
+		t.Errorf("Name = %q", mc.Name())
+	}
+}
+
+// Interface compliance.
+var _ clock.Timestamper = (*MixedClock)(nil)

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/clock"
+)
+
+func TestAnalyzePaperExample(t *testing.T) {
+	a := AnalyzeTrace(paperTrace())
+	if err := a.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := a.VectorSize(); got != 3 {
+		t.Fatalf("optimal size = %d, want 3 (paper's {T2, O2, O3})", got)
+	}
+	// The paper's cover {T2, O2, O3} is one of several minimum covers; ours
+	// must have the same size and cover every edge, which Verify checked.
+	if min := 4; a.VectorSize() >= min {
+		t.Fatalf("mixed clock size %d not below min(threads, objects) = %d", a.VectorSize(), min)
+	}
+	if got := a.Savings(); got != 1 {
+		t.Errorf("Savings = %d, want 1 (4 active threads/objects vs size 3)", got)
+	}
+}
+
+func TestAnalyzeEmptyGraph(t *testing.T) {
+	a := Analyze(bipartite.New(0, 0))
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if a.VectorSize() != 0 {
+		t.Fatalf("empty graph needs %d components", a.VectorSize())
+	}
+}
+
+func TestAnalyzeOptimalityBruteForce(t *testing.T) {
+	// Exhaustively verify minimality: for random small graphs, no strictly
+	// smaller vertex cover may exist. This is Theorem 3 checked against a
+	// 2^(n+m) oracle.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		nT, nO := 1+rng.Intn(5), 1+rng.Intn(5)
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: nT, NObjects: nO, Density: rng.Float64(),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := Analyze(g)
+		if err := a.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if best := bruteForceMinCover(g); a.VectorSize() != best {
+			t.Fatalf("trial %d: offline found %d, brute force %d on %v",
+				trial, a.VectorSize(), best, g.EdgeList())
+		}
+	}
+}
+
+// bruteForceMinCover enumerates all vertex subsets (threads ∪ objects) and
+// returns the smallest cover size. Exponential; only for tiny graphs.
+func bruteForceMinCover(g *bipartite.Graph) int {
+	n, m := g.NThreads(), g.NObjects()
+	edges := g.EdgeList()
+	best := n + m
+	for mask := 0; mask < 1<<(n+m); mask++ {
+		covered := true
+		for _, e := range edges {
+			if mask&(1<<e.Thread) == 0 && mask&(1<<(n+e.Object)) == 0 {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		size := 0
+		for b := mask; b != 0; b &= b - 1 {
+			size++
+		}
+		if size < best {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestAnalysisNewClockTimestampsOwnComputation(t *testing.T) {
+	tr := paperTrace()
+	a := AnalyzeTrace(tr)
+	mc := a.NewClock()
+	if _, err := clock.RunAndValidate(tr, mc); err != nil {
+		t.Fatalf("offline clock invalid on its own computation: %v", err)
+	}
+	if mc.Err() != nil {
+		t.Fatalf("unexpected uncovered event: %v", mc.Err())
+	}
+	if mc.Events() != tr.Len() {
+		t.Fatalf("Events = %d, want %d", mc.Events(), tr.Len())
+	}
+}
+
+func TestSavingsNeverNegative(t *testing.T) {
+	// Optimality guarantees the mixed clock is never larger than the
+	// smaller classical clock over active vertices.
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 50; trial++ {
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: 1 + rng.Intn(30),
+			NObjects: 1 + rng.Intn(30),
+			Density:  rng.Float64(),
+			Scenario: bipartite.Scenario(1 + rng.Intn(2)),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := Analyze(g).Savings(); s < 0 {
+			t.Fatalf("trial %d: negative savings %d", trial, s)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/clock"
+	"mixedclock/internal/event"
+)
+
+func TestMechanismNames(t *testing.T) {
+	tests := []struct {
+		m    Mechanism
+		want string
+	}{
+		{NaiveThreads{}, "naive/threads"},
+		{NaiveObjects{}, "naive/objects"},
+		{Random{}, "random"},
+		{Popularity{}, "popularity"},
+		{NewHybrid(), "hybrid(popularity→naive/threads)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNaiveMechanisms(t *testing.T) {
+	g := bipartite.New(2, 2)
+	if got := (NaiveThreads{}).Choose(g, 0, 1); got != bipartite.Threads {
+		t.Errorf("NaiveThreads chose %v", got)
+	}
+	if got := (NaiveObjects{}).Choose(g, 0, 1); got != bipartite.Objects {
+		t.Errorf("NaiveObjects chose %v", got)
+	}
+}
+
+func TestRandomMechanismDeterministicWithSeed(t *testing.T) {
+	g := bipartite.New(4, 4)
+	choices1 := make([]bipartite.Side, 20)
+	choices2 := make([]bipartite.Side, 20)
+	r1 := Random{Rng: rand.New(rand.NewSource(5))}
+	r2 := Random{Rng: rand.New(rand.NewSource(5))}
+	sawBoth := map[bipartite.Side]bool{}
+	for i := range choices1 {
+		choices1[i] = r1.Choose(g, 0, 0)
+		choices2[i] = r2.Choose(g, 0, 0)
+		sawBoth[choices1[i]] = true
+	}
+	for i := range choices1 {
+		if choices1[i] != choices2[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	if !sawBoth[bipartite.Threads] || !sawBoth[bipartite.Objects] {
+		t.Error("Random never chose one of the sides in 20 draws")
+	}
+}
+
+func TestPopularityMechanism(t *testing.T) {
+	g := bipartite.New(3, 3)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1) // thread 0 degree 2
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 2) // object 2 degree 2
+
+	tests := []struct {
+		name string
+		t, o int
+		want bipartite.Side
+	}{
+		{"thread more popular", 0, 2, bipartite.Threads}, // deg(T1)=2 = deg(O3)=2 → tie → thread
+		{"object more popular", 1, 2, bipartite.Objects}, // deg(T2)=1 < deg(O3)=2
+		{"tie goes to thread", 0, 2, bipartite.Threads},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := (Popularity{}).Choose(g, tt.t, tt.o); got != tt.want {
+				t.Errorf("Choose(T%d, O%d) = %v, want %v", tt.t+1, tt.o+1, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHybridSwitchesOnDensity(t *testing.T) {
+	h := Hybrid{Primary: NaiveObjects{}, Fallback: NaiveThreads{}, MaxDensity: 0.5, MaxNodes: 1000}
+	sparse := bipartite.New(10, 10)
+	sparse.AddEdge(0, 0)
+	if got := h.Choose(sparse, 0, 0); got != bipartite.Objects {
+		t.Errorf("sparse graph: chose %v, want primary (objects)", got)
+	}
+	dense := bipartite.New(2, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			dense.AddEdge(i, j)
+		}
+	}
+	if got := h.Choose(dense, 0, 0); got != bipartite.Threads {
+		t.Errorf("dense graph: chose %v, want fallback (threads)", got)
+	}
+}
+
+func TestHybridSwitchesOnNodeCount(t *testing.T) {
+	h := Hybrid{Primary: NaiveObjects{}, Fallback: NaiveThreads{}, MaxDensity: 1.0, MaxNodes: 10}
+	small := bipartite.New(2, 2)
+	small.AddEdge(0, 0)
+	if got := h.Choose(small, 0, 0); got != bipartite.Objects {
+		t.Errorf("small graph: chose %v, want primary", got)
+	}
+	big := bipartite.New(50, 50)
+	big.AddEdge(0, 0)
+	if got := h.Choose(big, 0, 0); got != bipartite.Threads {
+		t.Errorf("big graph: chose %v, want fallback", got)
+	}
+}
+
+func TestHybridZeroValueUsesDefaults(t *testing.T) {
+	var h Hybrid
+	if !strings.Contains(h.Name(), "popularity") || !strings.Contains(h.Name(), "naive/threads") {
+		t.Errorf("zero Hybrid name = %q", h.Name())
+	}
+	g := bipartite.New(2, 2)
+	g.AddEdge(0, 1)
+	// Should not panic and should delegate to popularity (tie → thread).
+	if got := h.Choose(g, 0, 0); got != bipartite.Threads {
+		t.Errorf("Choose = %v", got)
+	}
+}
+
+func TestCoverTrackerInvariant(t *testing.T) {
+	// After every reveal, every revealed edge must be covered — for every
+	// mechanism.
+	mechs := []Mechanism{
+		NaiveThreads{},
+		NaiveObjects{},
+		Random{Rng: rand.New(rand.NewSource(8))},
+		Popularity{},
+		NewHybrid(),
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, mech := range mechs {
+		t.Run(mech.Name(), func(t *testing.T) {
+			ct := NewCoverTracker(mech)
+			for i := 0; i < 300; i++ {
+				tID := event.ThreadID(rng.Intn(20))
+				oID := event.ObjectID(rng.Intn(20))
+				ct.Reveal(tID, oID)
+				if !ct.Components().Covers(tID, oID) {
+					t.Fatalf("event %d (%v, %v) uncovered after reveal", i, tID, oID)
+				}
+			}
+			// Full invariant at the end: every edge covered.
+			for _, e := range ct.Graph().EdgeList() {
+				if !ct.Components().Covers(event.ThreadID(e.Thread), event.ObjectID(e.Object)) {
+					t.Fatalf("edge %v uncovered", e)
+				}
+			}
+		})
+	}
+}
+
+func TestCoverTrackerRepeatEdgeAddsNothing(t *testing.T) {
+	ct := NewCoverTracker(NaiveThreads{})
+	if _, added := ct.Reveal(0, 0); !added {
+		t.Fatal("first reveal should add a component")
+	}
+	if _, added := ct.Reveal(0, 0); added {
+		t.Fatal("repeated pair added a component")
+	}
+	if _, added := ct.Reveal(0, 1); added {
+		t.Fatal("covered edge added a component")
+	}
+	if ct.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", ct.Size())
+	}
+}
+
+func TestCoverTrackerNaiveCountsActiveSides(t *testing.T) {
+	// NaiveThreads yields one component per distinct thread, NaiveObjects
+	// one per distinct object.
+	edges := []bipartite.Edge{
+		{Thread: 0, Object: 0},
+		{Thread: 0, Object: 1},
+		{Thread: 1, Object: 0},
+		{Thread: 2, Object: 2},
+		{Thread: 2, Object: 0},
+	}
+	if got := SimulateCover(edges, NaiveThreads{}); got != 3 {
+		t.Errorf("NaiveThreads size = %d, want 3 threads", got)
+	}
+	if got := SimulateCover(edges, NaiveObjects{}); got != 3 {
+		t.Errorf("NaiveObjects size = %d, want 3 objects", got)
+	}
+}
+
+func TestOnlineNeverBelowOffline(t *testing.T) {
+	// The offline cover is optimal; no online mechanism may beat it.
+	rng := rand.New(rand.NewSource(10))
+	mechs := []Mechanism{
+		NaiveThreads{},
+		NaiveObjects{},
+		Random{Rng: rand.New(rand.NewSource(11))},
+		Popularity{},
+		NewHybrid(),
+	}
+	for trial := 0; trial < 25; trial++ {
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: 5 + rng.Intn(30),
+			NObjects: 5 + rng.Intn(30),
+			Density:  rng.Float64() * 0.5,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimal := Analyze(g).VectorSize()
+		order := g.RevealOrder(rng)
+		for _, mech := range mechs {
+			if got := SimulateCover(order, mech); got < optimal {
+				t.Fatalf("trial %d: %s produced %d < optimal %d", trial, mech.Name(), got, optimal)
+			}
+		}
+	}
+}
+
+func TestOnlineMixedClockValidity(t *testing.T) {
+	// Every online mechanism must still yield a valid vector clock, because
+	// the tracker maintains the cover invariant.
+	rng := rand.New(rand.NewSource(12))
+	mechs := func() []Mechanism {
+		return []Mechanism{
+			NaiveThreads{},
+			NaiveObjects{},
+			Random{Rng: rand.New(rand.NewSource(13))},
+			Popularity{},
+			NewHybrid(),
+		}
+	}
+	for trial := 0; trial < 8; trial++ {
+		tr := randomTrace(rng, 2+rng.Intn(5), 2+rng.Intn(5), 20+rng.Intn(40))
+		for _, mech := range mechs() {
+			oc := NewOnlineMixedClock(mech)
+			if _, err := clock.RunAndValidate(tr, oc); err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, mech.Name(), err)
+			}
+			if oc.Err() != nil {
+				t.Fatalf("trial %d, %s: tracker let an event through uncovered: %v",
+					trial, mech.Name(), oc.Err())
+			}
+		}
+	}
+}
+
+func TestOnlineMixedClockName(t *testing.T) {
+	oc := NewOnlineMixedClock(Popularity{})
+	if got := oc.Name(); got != "mixed/online/popularity" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestOnlineMixedClockComponentsGrow(t *testing.T) {
+	oc := NewOnlineMixedClock(NaiveThreads{})
+	if oc.Components() != 0 {
+		t.Fatal("fresh online clock has components")
+	}
+	oc.Timestamp(event.Event{Index: 0, Thread: 0, Object: 0})
+	oc.Timestamp(event.Event{Index: 1, Thread: 1, Object: 0})
+	oc.Timestamp(event.Event{Index: 2, Thread: 0, Object: 1})
+	if oc.Components() != 2 {
+		t.Fatalf("Components = %d, want 2", oc.Components())
+	}
+	if oc.Tracker().Graph().Edges() != 3 {
+		t.Fatalf("revealed edges = %d, want 3", oc.Tracker().Graph().Edges())
+	}
+}
+
+func TestSimulateCoverMatchesOnlineClock(t *testing.T) {
+	// The fast size-only simulation must agree with the full online clock.
+	rng := rand.New(rand.NewSource(14))
+	tr := randomTrace(rng, 10, 10, 200)
+	edges := make([]bipartite.Edge, 0, tr.Len())
+	for _, e := range tr.Events() {
+		edges = append(edges, bipartite.Edge{Thread: int(e.Thread), Object: int(e.Object)})
+	}
+	oc := NewOnlineMixedClock(Popularity{})
+	for _, e := range tr.Events() {
+		oc.Timestamp(e)
+	}
+	if sim := SimulateCover(edges, Popularity{}); sim != oc.Components() {
+		t.Fatalf("SimulateCover = %d, online clock = %d", sim, oc.Components())
+	}
+}
+
+// Interface compliance.
+var _ clock.Timestamper = (*OnlineMixedClock)(nil)

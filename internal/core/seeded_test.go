@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/clock"
+	"mixedclock/internal/event"
+	"mixedclock/internal/matching"
+	"mixedclock/internal/vclock"
+)
+
+func TestNewSeededCoverTracker(t *testing.T) {
+	g := bipartite.New(3, 3)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 1)
+
+	comps := NewComponentSet()
+	comps.Add(ObjectComponent(0))
+	comps.Add(ThreadComponent(2))
+
+	ct, err := NewSeededCoverTracker(NaiveThreads{}, g, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", ct.Size())
+	}
+	if ct.Mechanism().Name() != "naive/threads" {
+		t.Fatalf("Mechanism() = %q", ct.Mechanism().Name())
+	}
+	// An already-revealed edge adds nothing.
+	if _, added := ct.Reveal(0, 0); added {
+		t.Fatal("existing edge added a component")
+	}
+	// A new edge covered by the seed (T3 on a fresh object) adds nothing.
+	if _, added := ct.Reveal(2, 2); added {
+		t.Fatal("edge covered by seeded T3 added a component")
+	}
+	// A new uncovered edge consults the mechanism.
+	c, added := ct.Reveal(1, 1)
+	if !added || c != ThreadComponent(1) {
+		t.Fatalf("uncovered edge: added=%v component=%v", added, c)
+	}
+	if ct.Size() != 3 {
+		t.Fatalf("Size = %d after growth, want 3", ct.Size())
+	}
+}
+
+func TestNewSeededCoverTrackerRejectsBadSeed(t *testing.T) {
+	g := bipartite.New(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(0)) // edge (1,1) uncovered
+	if _, err := NewSeededCoverTracker(NaiveThreads{}, g, comps); err == nil {
+		t.Fatal("uncovering seed accepted")
+	} else if !strings.Contains(err.Error(), "do not cover") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestMixedClockAccessors(t *testing.T) {
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(0))
+	mc := NewMixedClock(comps)
+	if mc.Components() != 1 {
+		t.Fatalf("Components = %d", mc.Components())
+	}
+	if mc.ComponentSet() != comps {
+		t.Fatal("ComponentSet should expose the shared set")
+	}
+}
+
+func TestAnalysisVerifyCatchesCorruption(t *testing.T) {
+	g := bipartite.New(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+	a := Analyze(g)
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cover missing a member leaves an edge uncovered.
+	broken := &Analysis{
+		Graph:      a.Graph,
+		Matching:   a.Matching,
+		Cover:      &matching.Cover{Threads: []int{0}}, // misses edge (1,1)
+		Components: a.Components,
+	}
+	if err := broken.Verify(); err == nil {
+		t.Fatal("corrupted cover accepted")
+	}
+
+	// A valid cover whose size disagrees with the matching violates the
+	// König certificate.
+	oversized := &Analysis{
+		Graph:    a.Graph,
+		Matching: a.Matching,
+		Cover:    &matching.Cover{Threads: []int{0, 1}, Objects: []int{0}},
+		Components: func() *ComponentSet {
+			s := NewComponentSet()
+			s.Add(ThreadComponent(0))
+			s.Add(ThreadComponent(1))
+			s.Add(ObjectComponent(0))
+			return s
+		}(),
+	}
+	if err := oversized.Verify(); err == nil {
+		t.Fatal("certificate violation accepted")
+	}
+
+	// Components drifting from the cover size must be caught too.
+	drifted := &Analysis{
+		Graph:      a.Graph,
+		Matching:   a.Matching,
+		Cover:      a.Cover,
+		Components: NewComponentSet(),
+	}
+	if err := drifted.Verify(); err == nil {
+		t.Fatal("component drift accepted")
+	}
+}
+
+// TestSeededTrackerWithClock runs the compaction wiring end to end: a clock
+// over a seeded tracker must stay valid as the computation grows past the
+// seed.
+func TestSeededTrackerWithClock(t *testing.T) {
+	g := bipartite.New(2, 1)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	a := Analyze(g)
+	ct, err := NewSeededCoverTracker(NewHybrid(), a.Graph, a.Components)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMixedClock(ct.Components())
+
+	tr := event.NewTrace()
+	tr.Append(0, 0, event.OpWrite)
+	tr.Append(1, 0, event.OpWrite)
+	tr.Append(2, 1, event.OpWrite) // new thread and object
+	tr.Append(2, 0, event.OpWrite)
+
+	stamps := make([]vclock.Vector, 0, tr.Len())
+	for _, e := range tr.Events() {
+		ct.Reveal(e.Thread, e.Object)
+		stamps = append(stamps, mc.Timestamp(e))
+	}
+	if mc.Err() != nil {
+		t.Fatal(mc.Err())
+	}
+	if err := clock.Validate(tr, stamps, "seeded"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package cut implements consistent global states over timestamped
+// computations — the failure-recovery application from the paper's
+// introduction. A cut selects a prefix of every thread's event sequence; it
+// is consistent when no selected event causally depends on an unselected
+// one. RecoveryLine computes the maximal consistent cut that excludes a
+// faulty event, using only vector timestamps (Theorem 2 makes the causal
+// test a vector comparison).
+package cut
+
+import (
+	"fmt"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/hb"
+	"mixedclock/internal/vclock"
+)
+
+// Cut selects, per thread, how many of its events (in program order) are
+// included.
+type Cut struct {
+	// PerThread[t] is the number of included events of thread t.
+	PerThread []int
+}
+
+// Includes reports whether the cut includes event e, given that e is the
+// seq-th event of its thread (0-based).
+func (c Cut) Includes(t event.ThreadID, seq int) bool {
+	if int(t) >= len(c.PerThread) {
+		return false
+	}
+	return seq < c.PerThread[t]
+}
+
+// Size returns the total number of included events.
+func (c Cut) Size() int {
+	n := 0
+	for _, k := range c.PerThread {
+		n += k
+	}
+	return n
+}
+
+// String renders like "cut[T1:3 T2:1]".
+func (c Cut) String() string {
+	out := "cut["
+	for t, k := range c.PerThread {
+		if t > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%v:%d", event.ThreadID(t), k)
+	}
+	return out + "]"
+}
+
+// membership returns, for each event index, whether the cut includes it.
+func (c Cut) membership(tr *event.Trace) []bool {
+	in := make([]bool, tr.Len())
+	seq := make([]int, tr.Threads())
+	for i := 0; i < tr.Len(); i++ {
+		t := tr.At(i).Thread
+		if c.Includes(t, seq[t]) {
+			in[i] = true
+		}
+		seq[t]++
+	}
+	return in
+}
+
+// IsConsistent checks the cut against the ground-truth oracle: consistent
+// iff every happened-before predecessor of an included event is included.
+func IsConsistent(tr *event.Trace, c Cut) bool {
+	oracle := hb.New(tr)
+	in := c.membership(tr)
+	for i := 0; i < tr.Len(); i++ {
+		if !in[i] {
+			continue
+		}
+		for _, j := range oracle.DownSet(i) {
+			if !in[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RecoveryLine computes the maximal consistent cut that excludes event bad
+// (and therefore everything causally contaminated by it), deciding causal
+// dependence purely from the provided timestamps: event e is excluded iff
+// e == bad or stamps[bad] < stamps[e]. With a valid clock the result is
+// always consistent and is the largest such cut.
+func RecoveryLine(tr *event.Trace, stamps []vclock.Vector, bad int) (Cut, error) {
+	if len(stamps) != tr.Len() {
+		return Cut{}, fmt.Errorf("cut: %d stamps for %d events", len(stamps), tr.Len())
+	}
+	if bad < 0 || bad >= tr.Len() {
+		return Cut{}, fmt.Errorf("cut: bad event %d out of range [0, %d)", bad, tr.Len())
+	}
+	c := Cut{PerThread: make([]int, tr.Threads())}
+	seq := make([]int, tr.Threads())
+	frozen := make([]bool, tr.Threads())
+	for i := 0; i < tr.Len(); i++ {
+		t := tr.At(i).Thread
+		contaminated := i == bad || stamps[bad].Less(stamps[i])
+		if contaminated {
+			frozen[t] = true
+		}
+		if !frozen[t] {
+			// Included events form a per-thread prefix: contamination is
+			// closed under program order, so once a thread sees a
+			// contaminated event the rest of its events are excluded too.
+			c.PerThread[t] = seq[t] + 1
+		}
+		seq[t]++
+	}
+	return c, nil
+}
+
+// Contaminated lists the events excluded by the recovery line for bad: the
+// faulty event and its causal future, straight from timestamp comparisons.
+func Contaminated(stamps []vclock.Vector, bad int) []int {
+	var out []int
+	for i, v := range stamps {
+		if i == bad || stamps[bad].Less(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Package detect implements the debugging applications the paper's
+// introduction motivates: given a timestamped computation, it measures how
+// much genuine concurrency exists (the census) and flags schedule-sensitive
+// pairs — conflicting critical sections on the same object whose only
+// ordering is the object's lock itself, so a different scheduling could flip
+// their order. Those pairs are where atomicity bugs and nondeterministic
+// behaviour hide in lock-based programs.
+package detect
+
+import (
+	"fmt"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/hb"
+	"mixedclock/internal/vclock"
+)
+
+// Census summarizes the pairwise ordering structure of a computation,
+// computed purely from timestamps.
+type Census struct {
+	Events     int
+	Total      int // unordered event pairs
+	Ordered    int // pairs with a happened-before relation
+	Concurrent int // incomparable pairs
+}
+
+// Parallelism is the fraction of pairs that are concurrent; 0 for
+// computations with fewer than two events.
+func (c Census) Parallelism() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Concurrent) / float64(c.Total)
+}
+
+// String renders a one-line summary.
+func (c Census) String() string {
+	return fmt.Sprintf("%d events, %d/%d pairs concurrent (%.1f%% parallelism)",
+		c.Events, c.Concurrent, c.Total, 100*c.Parallelism())
+}
+
+// TakeCensus compares all timestamp pairs. With a valid clock this equals
+// the ground-truth concurrency structure — that is exactly Theorem 2 put to
+// work: no graph reachability needed, only vector comparisons.
+func TakeCensus(stamps []vclock.Vector) Census {
+	c := Census{Events: len(stamps)}
+	for i := range stamps {
+		for j := i + 1; j < len(stamps); j++ {
+			c.Total++
+			if stamps[i].Concurrent(stamps[j]) {
+				c.Concurrent++
+			} else {
+				c.Ordered++
+			}
+		}
+	}
+	return c
+}
+
+// Pair is a flagged pair of operations, First preceding Second in the
+// object's lock order.
+type Pair struct {
+	First  event.Event
+	Second event.Event
+}
+
+// String renders like "[T1, O2] <lock-only> [T3, O2]".
+func (p Pair) String() string {
+	return fmt.Sprintf("%v <lock-only> %v", p.First, p.Second)
+}
+
+// ScheduleSensitivePairs returns conflicting (at least one write), adjacent
+// operations on the same object by different threads whose only
+// happened-before path is the object's own lock handoff: removing the direct
+// object edge would leave them concurrent. The order of such pairs is a
+// scheduling accident; if the program's correctness depends on it, that is
+// an atomicity bug.
+//
+// The check uses the ground-truth oracle (O(E²/64) construction): for the
+// object-adjacent pair (e, f), any alternative path e → f must leave e
+// through its thread successor, so the pair is lock-only iff that successor
+// is absent, equal to f is impossible (f is on another thread), or does not
+// reach f.
+func ScheduleSensitivePairs(tr *event.Trace) []Pair {
+	oracle := hb.New(tr)
+	var out []Pair
+	for i := 0; i < tr.Len(); i++ {
+		j := oracle.ObjectSuccessor(i)
+		if j < 0 {
+			continue
+		}
+		e, f := tr.At(i), tr.At(j)
+		if e.Thread == f.Thread {
+			continue // program order already fixes them
+		}
+		if e.Op == event.OpRead && f.Op == event.OpRead {
+			continue // reads commute; order is irrelevant
+		}
+		// Alternative path from e to f avoiding the direct object edge must
+		// start at e's thread successor.
+		ts := oracle.ThreadSuccessor(i)
+		if ts >= 0 && (ts == j || oracle.HappenedBefore(ts, j)) {
+			continue // independently ordered; the lock is not load-bearing
+		}
+		out = append(out, Pair{First: e, Second: f})
+	}
+	return out
+}
+
+// ConflictMatrix counts, for every pair of threads, how many
+// schedule-sensitive pairs link them. Row = first thread, column = second.
+// Useful to localize which threads contend.
+func ConflictMatrix(tr *event.Trace) [][]int {
+	n := tr.Threads()
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for _, p := range ScheduleSensitivePairs(tr) {
+		m[p.First.Thread][p.Second.Thread]++
+	}
+	return m
+}

@@ -1,0 +1,171 @@
+// Package event defines the computation model of the paper: a computation is
+// a sequence of events, each of which is one thread performing one operation
+// on one shared object. Threads are sequential, and all operations on a
+// single object are sequential too (the paper assumes per-object locking), so
+// both the per-thread and the per-object event sequences are chains in the
+// happened-before partial order.
+package event
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ThreadID identifies a thread (process) in a computation. IDs are dense
+// indices starting at 0 so they can index slices directly.
+type ThreadID int
+
+// ObjectID identifies a shared object in a computation. IDs are dense indices
+// starting at 0.
+type ObjectID int
+
+// String renders the thread as "T<n>" (1-based, matching the paper's
+// figures).
+func (t ThreadID) String() string { return fmt.Sprintf("T%d", int(t)+1) }
+
+// String renders the object as "O<n>" (1-based, matching the paper's
+// figures).
+func (o ObjectID) String() string { return fmt.Sprintf("O%d", int(o)+1) }
+
+// Op distinguishes read-like from write-like operations. The core algorithm
+// is agnostic to the kind of operation; the distinction exists for the race
+// detection application, which only flags pairs where at least one side
+// writes.
+type Op int
+
+const (
+	// OpWrite mutates the object. The zero value is a write so traces that
+	// never mention operation kinds behave like the paper's model, where
+	// every operation conflicts with every other on the same object.
+	OpWrite Op = iota
+	// OpRead observes the object without mutating it.
+	OpRead
+)
+
+// String returns "write" or "read".
+func (op Op) String() string {
+	switch op {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Event is one operation in a computation: Thread performed Op on Object.
+// Index is the event's position in its trace (assigned by Trace methods; -1
+// in a free-standing event).
+type Event struct {
+	Index  int      `json:"i"`
+	Thread ThreadID `json:"t"`
+	Object ObjectID `json:"o"`
+	Op     Op       `json:"op,omitempty"`
+}
+
+// String renders the event like the paper's "[T2, O1]" notation.
+func (e Event) String() string {
+	return fmt.Sprintf("[%v, %v]", e.Thread, e.Object)
+}
+
+// Errors returned by trace validation.
+var (
+	// ErrNegativeID reports a thread or object ID below zero.
+	ErrNegativeID = errors.New("event: negative thread or object ID")
+	// ErrBadIndex reports an event whose Index does not match its position.
+	ErrBadIndex = errors.New("event: event index does not match position")
+)
+
+// Trace is an ordered computation: the i-th element is the i-th event
+// revealed (the paper's online setting reveals exactly one event at a time).
+// The total order of a trace is one legal interleaving; the causal order is
+// the happened-before relation derived from per-thread and per-object
+// chains (see package hb).
+type Trace struct {
+	events []Event
+	// threads and objects track the number of distinct IDs seen, as
+	// 1 + max(ID). Dense ID spaces are assumed (generator-produced traces
+	// always satisfy this; loaded traces are validated).
+	threads int
+	objects int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Append adds an operation to the trace, assigning its index, and returns
+// the stored event.
+func (tr *Trace) Append(t ThreadID, o ObjectID, op Op) Event {
+	e := Event{Index: len(tr.events), Thread: t, Object: o, Op: op}
+	tr.events = append(tr.events, e)
+	if int(t)+1 > tr.threads {
+		tr.threads = int(t) + 1
+	}
+	if int(o)+1 > tr.objects {
+		tr.objects = int(o) + 1
+	}
+	return e
+}
+
+// AppendEvent adds a pre-built event (its Index is overwritten).
+func (tr *Trace) AppendEvent(e Event) Event {
+	return tr.Append(e.Thread, e.Object, e.Op)
+}
+
+// Len returns the number of events.
+func (tr *Trace) Len() int { return len(tr.events) }
+
+// At returns the i-th event.
+func (tr *Trace) At(i int) Event { return tr.events[i] }
+
+// Events returns a copy of the underlying event slice, so callers cannot
+// corrupt the trace.
+func (tr *Trace) Events() []Event {
+	out := make([]Event, len(tr.events))
+	copy(out, tr.events)
+	return out
+}
+
+// Threads returns the number of distinct thread IDs (computed as
+// 1 + max thread ID).
+func (tr *Trace) Threads() int { return tr.threads }
+
+// Objects returns the number of distinct object IDs (computed as
+// 1 + max object ID).
+func (tr *Trace) Objects() int { return tr.objects }
+
+// Validate checks internal consistency: non-negative IDs and indices
+// matching positions. Traces built through Append always validate; this
+// guards traces loaded from disk.
+func (tr *Trace) Validate() error {
+	for i, e := range tr.events {
+		if e.Thread < 0 || e.Object < 0 {
+			return fmt.Errorf("%w: event %d is %v", ErrNegativeID, i, e)
+		}
+		if e.Index != i {
+			return fmt.Errorf("%w: event at position %d has index %d", ErrBadIndex, i, e.Index)
+		}
+	}
+	return nil
+}
+
+// ByThread groups event indices by thread, in trace order. The result has
+// Threads() entries.
+func (tr *Trace) ByThread() [][]int {
+	out := make([][]int, tr.threads)
+	for i, e := range tr.events {
+		out[e.Thread] = append(out[e.Thread], i)
+	}
+	return out
+}
+
+// ByObject groups event indices by object, in trace order. The result has
+// Objects() entries.
+func (tr *Trace) ByObject() [][]int {
+	out := make([][]int, tr.objects)
+	for i, e := range tr.events {
+		out[e.Object] = append(out[e.Object], i)
+	}
+	return out
+}

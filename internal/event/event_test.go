@@ -1,0 +1,225 @@
+package event
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestIDStrings(t *testing.T) {
+	if got := ThreadID(0).String(); got != "T1" {
+		t.Errorf("ThreadID(0) = %q, want T1", got)
+	}
+	if got := ObjectID(2).String(); got != "O3" {
+		t.Errorf("ObjectID(2) = %q, want O3", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{OpWrite, "write"},
+		{OpRead, "read"},
+		{Op(9), "Op(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(tt.op), got, tt.want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Thread: 1, Object: 0}
+	if got := e.String(); got != "[T2, O1]" {
+		t.Errorf("Event.String() = %q, want [T2, O1]", got)
+	}
+}
+
+func TestTraceAppendAndAccessors(t *testing.T) {
+	tr := NewTrace()
+	if tr.Len() != 0 || tr.Threads() != 0 || tr.Objects() != 0 {
+		t.Fatal("fresh trace must be empty")
+	}
+	e0 := tr.Append(1, 0, OpWrite)
+	e1 := tr.Append(0, 2, OpRead)
+	if e0.Index != 0 || e1.Index != 1 {
+		t.Fatalf("indices not assigned sequentially: %d, %d", e0.Index, e1.Index)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Threads() != 2 || tr.Objects() != 3 {
+		t.Fatalf("Threads/Objects = %d/%d, want 2/3", tr.Threads(), tr.Objects())
+	}
+	if got := tr.At(1); got.Thread != 0 || got.Object != 2 || got.Op != OpRead {
+		t.Fatalf("At(1) = %+v", got)
+	}
+}
+
+func TestAppendEventOverwritesIndex(t *testing.T) {
+	tr := NewTrace()
+	got := tr.AppendEvent(Event{Index: 57, Thread: 3, Object: 1})
+	if got.Index != 0 {
+		t.Fatalf("AppendEvent kept stale index %d", got.Index)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(0, 0, OpWrite)
+	ev := tr.Events()
+	ev[0].Thread = 99
+	if tr.At(0).Thread != 0 {
+		t.Fatal("Events() leaked internal storage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(0, 1, OpWrite)
+	tr.Append(1, 0, OpRead)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	bad := &Trace{events: []Event{{Index: 0, Thread: -1, Object: 0}}}
+	if err := bad.Validate(); !errors.Is(err, ErrNegativeID) {
+		t.Fatalf("want ErrNegativeID, got %v", err)
+	}
+
+	bad2 := &Trace{events: []Event{{Index: 5, Thread: 0, Object: 0}}}
+	if err := bad2.Validate(); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("want ErrBadIndex, got %v", err)
+	}
+}
+
+func TestByThreadByObject(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(0, 0, OpWrite) // e0
+	tr.Append(1, 0, OpWrite) // e1
+	tr.Append(0, 1, OpWrite) // e2
+	tr.Append(0, 0, OpRead)  // e3
+
+	byT := tr.ByThread()
+	if len(byT) != 2 {
+		t.Fatalf("ByThread groups = %d, want 2", len(byT))
+	}
+	if want := []int{0, 2, 3}; !equalInts(byT[0], want) {
+		t.Errorf("thread 0 events = %v, want %v", byT[0], want)
+	}
+	if want := []int{1}; !equalInts(byT[1], want) {
+		t.Errorf("thread 1 events = %v, want %v", byT[1], want)
+	}
+
+	byO := tr.ByObject()
+	if len(byO) != 2 {
+		t.Fatalf("ByObject groups = %d, want 2", len(byO))
+	}
+	if want := []int{0, 1, 3}; !equalInts(byO[0], want) {
+		t.Errorf("object 0 events = %v, want %v", byO[0], want)
+	}
+	if want := []int{2}; !equalInts(byO[1], want) {
+		t.Errorf("object 1 events = %v, want %v", byO[1], want)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(1, 0, OpWrite)
+	tr.Append(0, 3, OpRead)
+	tr.Append(2, 2, OpWrite)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round-trip length %d, want %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if got.At(i) != tr.At(i) {
+			t.Errorf("event %d: got %+v, want %+v", i, got.At(i), tr.At(i))
+		}
+	}
+	if got.Threads() != tr.Threads() || got.Objects() != tr.Objects() {
+		t.Errorf("dims: got %d/%d, want %d/%d", got.Threads(), got.Objects(), tr.Threads(), tr.Objects())
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"i":0,"t":-2,"o":0}` + "\n")); !errors.Is(err, ErrNegativeID) {
+		t.Errorf("negative ID accepted: %v", err)
+	}
+}
+
+func TestReadJSONLEmpty(t *testing.T) {
+	tr, err := ReadJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("empty input gave %d events", tr.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(0, 0, OpWrite)
+	tr.Append(0, 0, OpRead) // same edge
+	tr.Append(0, 1, OpWrite)
+	tr.Append(1, 0, OpWrite)
+	tr.Append(0, 0, OpWrite)
+
+	s := tr.Summarize()
+	if s.Events != 5 || s.Threads != 2 || s.Objects != 2 {
+		t.Fatalf("basic counts wrong: %+v", s)
+	}
+	if s.Edges != 3 {
+		t.Errorf("Edges = %d, want 3", s.Edges)
+	}
+	if s.Reads != 1 || s.Writes != 4 {
+		t.Errorf("Reads/Writes = %d/%d, want 1/4", s.Reads, s.Writes)
+	}
+	if s.MaxThreadOps != 4 {
+		t.Errorf("MaxThreadOps = %d, want 4", s.MaxThreadOps)
+	}
+	if s.MaxObjectOps != 4 {
+		t.Errorf("MaxObjectOps = %d, want 4", s.MaxObjectOps)
+	}
+	if want := 3.0 / 4.0; s.Density() != want {
+		t.Errorf("Density = %f, want %f", s.Density(), want)
+	}
+	if !strings.Contains(s.String(), "5 events") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestStatsDensityEmpty(t *testing.T) {
+	var s Stats
+	if s.Density() != 0 {
+		t.Errorf("empty Density = %f, want 0", s.Density())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,43 @@
+package event
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL checks the trace parser never panics and that everything it
+// accepts survives a write/read round trip.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"i":0,"t":1,"o":0}` + "\n")
+	f.Add(`{"i":0,"t":0,"o":0,"op":1}` + "\n" + `{"i":1,"t":2,"o":3}` + "\n")
+	f.Add("")
+	f.Add("{}\n")
+	f.Add(`{"t":-1,"o":0}` + "\n")
+	f.Add("not json at all")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		back, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing own output: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), back.Len())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if back.At(i) != tr.At(i) {
+				t.Fatalf("round trip changed event %d", i)
+			}
+		}
+	})
+}

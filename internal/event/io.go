@@ -1,0 +1,45 @@
+package event
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL serializes the trace as JSON Lines: one event object per line.
+// The format is stable and diff-friendly, e.g. {"i":0,"t":1,"o":0}.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range tr.events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("event: encoding event %d: %w", e.Index, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("event: flushing trace: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a trace from the JSON Lines format written by WriteJSONL.
+// Indices are reassigned from line positions and the result is validated.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	tr := NewTrace()
+	dec := json.NewDecoder(r)
+	for line := 0; ; line++ {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("event: decoding line %d: %w", line+1, err)
+		}
+		if e.Thread < 0 || e.Object < 0 {
+			return nil, fmt.Errorf("%w: line %d is %v", ErrNegativeID, line+1, e)
+		}
+		tr.Append(e.Thread, e.Object, e.Op)
+	}
+	return tr, nil
+}

@@ -1,0 +1,75 @@
+package event
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes a trace. All fields are derived; see Summarize.
+type Stats struct {
+	Events  int // total operations
+	Threads int // distinct threads (1 + max ID)
+	Objects int // distinct objects (1 + max ID)
+	Edges   int // distinct (thread, object) pairs = edges of the bipartite graph
+	Reads   int
+	Writes  int
+	// MaxThreadOps and MaxObjectOps are the longest per-thread and
+	// per-object chains; they bound the clock values any scheme can reach.
+	MaxThreadOps int
+	MaxObjectOps int
+}
+
+// Density is the edge density of the thread-object bipartite graph:
+// Edges / (Threads × Objects). Zero for an empty trace.
+func (s Stats) Density() float64 {
+	if s.Threads == 0 || s.Objects == 0 {
+		return 0
+	}
+	return float64(s.Edges) / (float64(s.Threads) * float64(s.Objects))
+}
+
+// String renders a one-line human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events, %d threads, %d objects, %d edges (density %.3f), %d writes / %d reads",
+		s.Events, s.Threads, s.Objects, s.Edges, s.Density(), s.Writes, s.Reads)
+	return b.String()
+}
+
+// Summarize computes trace statistics in a single pass.
+func (tr *Trace) Summarize() Stats {
+	s := Stats{
+		Events:  len(tr.events),
+		Threads: tr.threads,
+		Objects: tr.objects,
+	}
+	type pair struct {
+		t ThreadID
+		o ObjectID
+	}
+	seen := make(map[pair]struct{})
+	perThread := make([]int, tr.threads)
+	perObject := make([]int, tr.objects)
+	for _, e := range tr.events {
+		if e.Op == OpRead {
+			s.Reads++
+		} else {
+			s.Writes++
+		}
+		seen[pair{e.Thread, e.Object}] = struct{}{}
+		perThread[e.Thread]++
+		perObject[e.Object]++
+	}
+	s.Edges = len(seen)
+	for _, c := range perThread {
+		if c > s.MaxThreadOps {
+			s.MaxThreadOps = c
+		}
+	}
+	for _, c := range perObject {
+		if c > s.MaxObjectOps {
+			s.MaxObjectOps = c
+		}
+	}
+	return s
+}

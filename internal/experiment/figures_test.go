@@ -1,0 +1,214 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// Small, fast option sets for unit tests; the paper-scale reproductions run
+// in the benchmarks and in TestPaperHeadlineClaims below.
+func quickOpts() Options {
+	return Options{
+		Trials:     3,
+		Seed:       17,
+		Nodes:      20,
+		Density:    0.05,
+		Densities:  []float64{0.02, 0.1, 0.5},
+		NodeCounts: []int{10, 30, 50},
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	uni, non, err := Fig4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Result{uni, non} {
+		if len(r.X) != 3 || len(r.Series) != 4 {
+			t.Fatalf("result shape wrong: %d x, %d series", len(r.X), len(r.Series))
+		}
+		for _, s := range r.Series {
+			if len(s.Values) != len(r.X) {
+				t.Fatalf("series %s has %d values for %d x", s.Name, len(s.Values), len(r.X))
+			}
+			for i, v := range s.Values {
+				if v < 0 || v > 40 {
+					t.Fatalf("series %s value %f at %d out of range", s.Name, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4Deterministic(t *testing.T) {
+	u1, _, err := Fig4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _, err := Fig4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range u1.Series {
+		for i := range u1.Series[si].Values {
+			if u1.Series[si].Values[i] != u2.Series[si].Values[i] {
+				t.Fatalf("same options, different values at series %d point %d", si, i)
+			}
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	uni, non, err := Fig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni.X) != 3 || len(non.X) != 3 {
+		t.Fatal("x axis wrong")
+	}
+	// Sizes grow with node count for every mechanism.
+	for _, s := range uni.Series {
+		if s.Values[0] > s.Values[2] {
+			t.Errorf("series %s not growing with nodes: %v", s.Name, s.Values)
+		}
+	}
+}
+
+func TestFig6OfflineIsFloor(t *testing.T) {
+	r, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.X {
+		off, ok := r.Get(seriesOffline, i)
+		if !ok {
+			t.Fatal("offline series missing")
+		}
+		for _, s := range r.Series {
+			if s.Values[i] < off-1e-9 {
+				t.Fatalf("series %s beat the offline optimum at point %d: %f < %f",
+					s.Name, i, s.Values[i], off)
+			}
+		}
+	}
+}
+
+func TestFig7OfflineIsFloor(t *testing.T) {
+	r, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.X {
+		off, _ := r.Get(seriesOffline, i)
+		for _, s := range r.Series {
+			if s.Values[i] < off-1e-9 {
+				t.Fatalf("series %s beat the offline optimum at point %d", s.Name, i)
+			}
+		}
+	}
+}
+
+// TestPaperHeadlineClaims reruns the paper's setups at full scale (50 nodes
+// per side etc.) and asserts the qualitative claims of §V, with measured
+// windows from our own implementation where the paper quotes numbers. The
+// full paper-vs-measured comparison, including where absolute values
+// deviate and why, is recorded in EXPERIMENTS.md.
+func TestPaperHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale reproduction; skipped with -short")
+	}
+	opt := Options{Trials: 10, Seed: 2019, Densities: []float64{0.02, 0.05, 0.5}}
+
+	t.Run("fig4 low density favors popularity", func(t *testing.T) {
+		uni, non, err := Fig4(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Claim 1: at low density Random/Popularity beat Naive (=50); past
+		// the crossover Naive wins.
+		for _, r := range []*Result{uni, non} {
+			naive, _ := r.Get(seriesNaive, 0)
+			if naive != 50 {
+				t.Fatalf("naive series should be the constant 50, got %.1f", naive)
+			}
+			for _, name := range []string{seriesRandom, seriesPopularity} {
+				low, _ := r.Get(name, 0) // density 0.02
+				if low >= naive {
+					t.Errorf("%s density 0.02: %s %.1f not below naive 50", r.Title, name, low)
+				}
+				high, _ := r.Get(name, 2) // density 0.5
+				if high <= naive {
+					t.Errorf("%s density 0.5: %s %.1f should exceed naive 50 (crossover)",
+						r.Title, name, high)
+				}
+			}
+		}
+		// Claim 2: the nonuniform scenario rewards Popularity — much
+		// smaller clocks than on uniform graphs at the same density.
+		popU, _ := uni.Get(seriesPopularity, 1) // d=0.05, measured ≈55
+		popN, _ := non.Get(seriesPopularity, 1) // d=0.05, measured ≈34
+		if popN >= popU {
+			t.Errorf("nonuniform advantage missing: popularity %.1f (nonuniform) vs %.1f (uniform)",
+				popN, popU)
+		}
+		// Claim 3: Popularity is slightly better than Random (it covers
+		// more future edges per added component).
+		randN, _ := non.Get(seriesRandom, 1)
+		if popN > randN+1 {
+			t.Errorf("popularity %.1f clearly worse than random %.1f on nonuniform graphs",
+				popN, randN)
+		}
+	})
+
+	t.Run("fig6 offline beats naive at n=50", func(t *testing.T) {
+		r, err := Fig6(Options{Trials: 10, Seed: 2019, Densities: []float64{0.03, 0.05}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper callout: naive 50 → offline ≈35 at d=0.05. Our realized
+		// Erdős–Rényi matchings are denser (measured ≈43 at 0.05; the
+		// paper's 35 sits at ≈0.03 on our curve — see EXPERIMENTS.md).
+		off05, _ := r.Get(seriesOffline, 1)
+		if off05 < 38 || off05 > 48 {
+			t.Errorf("offline at d=0.05 = %.1f outside measured window [38, 48]", off05)
+		}
+		off03, _ := r.Get(seriesOffline, 0)
+		if off03 < 30 || off03 > 39 {
+			t.Errorf("offline at d=0.03 = %.1f outside [30, 39] (paper's ≈35 lands here)", off03)
+		}
+		for i := range r.X {
+			off, _ := r.Get(seriesOffline, i)
+			naive, _ := r.Get(seriesNaive, i)
+			active, _ := r.Get(seriesNaiveActive, i)
+			if off >= naive || off > active {
+				t.Errorf("d=%.2f: offline %.1f not below naive %.1f / active %.1f",
+					r.X[i], off, naive, active)
+			}
+		}
+	})
+
+	t.Run("fig7 gap grows with nodes", func(t *testing.T) {
+		r, err := Fig7(Options{Trials: 10, Seed: 2019, NodeCounts: []int{30, 70, 150}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper: "as graph density or number of nodes in graph increases,
+		// the gap [popularity vs optimal] is increasing".
+		prevGap := -1.0
+		for i := range r.X {
+			off, _ := r.Get(seriesOffline, i)
+			pop, _ := r.Get(seriesPopularity, i)
+			naive, _ := r.Get(seriesNaive, i)
+			if off > naive {
+				t.Errorf("nodes=%v: offline %.1f above naive %.1f", r.X[i], off, naive)
+			}
+			gap := pop - off
+			if gap < 0 {
+				t.Errorf("nodes=%v: popularity %.1f below offline optimum %.1f", r.X[i], pop, off)
+			}
+			if gap <= prevGap {
+				t.Errorf("gap not growing at nodes=%v: %.1f after %.1f", r.X[i], gap, prevGap)
+			}
+			prevGap = gap
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Package experiment reproduces the paper's evaluation (§V): every figure
+// is an entry point that sweeps the paper's parameters over seeded random
+// graphs and reports mean vector-clock sizes per mechanism. Results render
+// as aligned text tables, CSV, or quick ASCII plots.
+package experiment
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	// Values[i] corresponds to Result.X[i].
+	Values []float64
+}
+
+// Result is one reproduced figure: an x-axis and one or more series.
+type Result struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Get returns the value of the named series at x-index i.
+func (r *Result) Get(series string, i int) (float64, bool) {
+	for _, s := range r.Series {
+		if s.Name == series {
+			if i < 0 || i >= len(s.Values) {
+				return 0, false
+			}
+			return s.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// XIndex returns the index of the x value closest to x.
+func (r *Result) XIndex(x float64) int {
+	best, bestDist := -1, math.Inf(1)
+	for i, v := range r.X {
+		if d := math.Abs(v - x); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// WriteCSV emits a header row (x label then series names) and one row per x
+// value.
+func (r *Result) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cols := make([]string, 0, len(r.Series)+1)
+	cols = append(cols, r.XLabel)
+	for _, s := range r.Series {
+		cols = append(cols, s.Name)
+	}
+	fmt.Fprintln(bw, strings.Join(cols, ","))
+	for i, x := range r.X {
+		row := make([]string, 0, len(r.Series)+1)
+		row = append(row, trimFloat(x))
+		for _, s := range r.Series {
+			row = append(row, trimFloat(s.Values[i]))
+		}
+		fmt.Fprintln(bw, strings.Join(row, ","))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("experiment: writing CSV: %w", err)
+	}
+	return nil
+}
+
+// WriteTable emits an aligned, human-readable table with the figure title.
+func (r *Result) WriteTable(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\n", r.Title)
+	fmt.Fprintf(bw, "%s\n", strings.Repeat("-", len(r.Title)))
+
+	widths := make([]int, len(r.Series)+1)
+	widths[0] = len(r.XLabel)
+	for j, s := range r.Series {
+		widths[j+1] = len(s.Name)
+	}
+	rows := make([][]string, len(r.X))
+	for i, x := range r.X {
+		rows[i] = make([]string, len(r.Series)+1)
+		rows[i][0] = trimFloat(x)
+		for j, s := range r.Series {
+			rows[i][j+1] = fmt.Sprintf("%.2f", s.Values[i])
+		}
+		for j, cell := range rows[i] {
+			if len(cell) > widths[j] {
+				widths[j] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(bw, "%-*s", widths[0], r.XLabel)
+	for j, s := range r.Series {
+		fmt.Fprintf(bw, "  %*s", widths[j+1], s.Name)
+	}
+	fmt.Fprintln(bw)
+	for _, row := range rows {
+		fmt.Fprintf(bw, "%-*s", widths[0], row[0])
+		for j := 1; j < len(row); j++ {
+			fmt.Fprintf(bw, "  %*s", widths[j], row[j])
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("experiment: writing table: %w", err)
+	}
+	return nil
+}
+
+// plotGlyphs mark series points in ASCII plots, in series order.
+var plotGlyphs = []byte{'n', 'r', 'p', 'o', 'h', 'x', '*'}
+
+// WriteASCIIPlot renders the result as a rough terminal plot of the given
+// character height (the width follows the number of x points). Each series
+// gets a glyph; the legend maps glyphs back to names.
+func (r *Result) WriteASCIIPlot(w io.Writer, height int) error {
+	if height < 4 {
+		height = 4
+	}
+	bw := bufio.NewWriter(w)
+	maxY := 0.0
+	for _, s := range r.Series {
+		for _, v := range s.Values {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	const colWidth = 3
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", colWidth*len(r.X)))
+	}
+	for si, s := range r.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i, v := range s.Values {
+			row := height - 1 - int(v/maxY*float64(height-1)+0.5)
+			col := i*colWidth + 1
+			if grid[row][col] == ' ' {
+				grid[row][col] = glyph
+			} else {
+				grid[row][col] = '+' // collision
+			}
+		}
+	}
+	fmt.Fprintf(bw, "%s\n", r.Title)
+	for i, line := range grid {
+		label := "      "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%5.1f ", maxY)
+		case height - 1:
+			label = "  0.0 "
+		}
+		fmt.Fprintf(bw, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(bw, "      +%s\n", strings.Repeat("-", colWidth*len(r.X)))
+	xticks := make([]string, len(r.X))
+	for i, x := range r.X {
+		xticks[i] = fmt.Sprintf("%*s", colWidth, trimFloat(x))
+	}
+	fmt.Fprintf(bw, "       %s  (%s)\n", strings.Join(xticks, ""), r.XLabel)
+	legend := make([]string, len(r.Series))
+	for si, s := range r.Series {
+		legend[si] = fmt.Sprintf("%c=%s", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	fmt.Fprintf(bw, "       %s\n", strings.Join(legend, "  "))
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("experiment: writing plot: %w", err)
+	}
+	return nil
+}
+
+// trimFloat formats a float without trailing zeros (densities and node
+// counts both read naturally).
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', 4, 64)
+}

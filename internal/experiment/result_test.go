@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Title:  "Sample",
+		XLabel: "density",
+		YLabel: "size",
+		X:      []float64{0.1, 0.2, 0.5},
+		Series: []Series{
+			{Name: "naive", Values: []float64{10, 10, 10}},
+			{Name: "popularity", Values: []float64{4, 6, 14}},
+		},
+	}
+}
+
+func TestGet(t *testing.T) {
+	r := sampleResult()
+	if v, ok := r.Get("popularity", 1); !ok || v != 6 {
+		t.Fatalf("Get = %f, %v", v, ok)
+	}
+	if _, ok := r.Get("missing", 0); ok {
+		t.Fatal("missing series found")
+	}
+	if _, ok := r.Get("naive", 9); ok {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestXIndex(t *testing.T) {
+	r := sampleResult()
+	if got := r.XIndex(0.21); got != 1 {
+		t.Fatalf("XIndex(0.21) = %d, want 1", got)
+	}
+	if got := r.XIndex(99); got != 2 {
+		t.Fatalf("XIndex(99) = %d, want 2", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "density,naive,popularity" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,10,4" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Sample", "density", "naive", "popularity", "10.00", "14.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteASCIIPlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteASCIIPlot(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "n=naive") || !strings.Contains(out, "r=popularity") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "density") {
+		t.Errorf("x label missing:\n%s", out)
+	}
+	// Tiny heights are clamped, not rejected.
+	if err := sampleResult().WriteASCIIPlot(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want string
+	}{
+		{50, "50"},
+		{0.05, "0.05"},
+		{0.5, "0.5"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.x); got != tt.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestWorkloadClockSizes(t *testing.T) {
+	r, names, err := WorkloadClockSizes(6, 6, 120, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(r.X) {
+		t.Fatalf("%d names for %d x", len(names), len(r.X))
+	}
+	// Offline must lower-bound every other series at every workload.
+	offIdx := -1
+	for i, s := range r.Series {
+		if s.Name == seriesOffline {
+			offIdx = i
+		}
+	}
+	if offIdx < 0 {
+		t.Fatal("offline series missing")
+	}
+	for i := range r.X {
+		off := r.Series[offIdx].Values[i]
+		for _, s := range r.Series {
+			if s.Name == "chain" {
+				continue // chains can beat the bipartite bound (they exploit time)
+			}
+			if s.Values[i] < off-1e-9 {
+				t.Errorf("workload %s: series %s (%.2f) below offline optimum (%.2f)",
+					names[i], s.Name, s.Values[i], off)
+			}
+		}
+	}
+}
+
+func TestRevealOrderSensitivity(t *testing.T) {
+	r, err := RevealOrderSensitivity(15, []float64{0.05, 0.2}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.X {
+		minV, _ := r.Get("pop-min", i)
+		meanV, _ := r.Get("pop-mean", i)
+		maxV, _ := r.Get("pop-max", i)
+		off, _ := r.Get(seriesOffline, i)
+		if !(minV <= meanV && meanV <= maxV) {
+			t.Fatalf("min/mean/max disordered at %d: %f %f %f", i, minV, meanV, maxV)
+		}
+		if minV < off {
+			t.Fatalf("an online order beat the offline optimum: %f < %f", minV, off)
+		}
+	}
+}
+
+func TestHybridThresholdSweep(t *testing.T) {
+	r, err := HybridThresholdSweep(15, []float64{0.05, 0.5}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.X) != 2 {
+		t.Fatalf("x = %v", r.X)
+	}
+	// Naive and popularity are threshold-independent; their series must be
+	// flat across thresholds.
+	for _, name := range []string{seriesNaive, seriesPopularity} {
+		a, _ := r.Get(name, 0)
+		b, _ := r.Get(name, 1)
+		if a != b {
+			t.Errorf("series %s not flat: %f vs %f", name, a, b)
+		}
+	}
+}
+
+func TestGreedyVsOptimal(t *testing.T) {
+	r, err := GreedyVsOptimal(12, []float64{0.1, 0.3}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.X {
+		greedy, _ := r.Get("greedy", i)
+		off, _ := r.Get(seriesOffline, i)
+		if greedy < off-1e-9 {
+			t.Fatalf("greedy %.2f beat optimal %.2f", greedy, off)
+		}
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	hist, err := SizeHistogram(10, 0.2, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for size, count := range hist {
+		if size < 0 || size > 10 {
+			t.Fatalf("impossible size %d", size)
+		}
+		total += count
+	}
+	if total != 20 {
+		t.Fatalf("histogram total %d, want 20", total)
+	}
+}

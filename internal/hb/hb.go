@@ -1,0 +1,188 @@
+// Package hb computes the ground-truth happened-before relation of a
+// computation (Lamport's relation restricted to the paper's model): the
+// smallest transitive relation where e → f if e immediately precedes f on
+// the same thread or on the same object.
+//
+// The Oracle materializes full reachability with bitsets, so tests can check
+// a clock's validity — s → t ⇔ s.V < t.V — against an independent source of
+// truth for every pair of events. It also exposes poset structure (height,
+// width, chains) used to evaluate the chain-clock baseline.
+package hb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mixedclock/internal/event"
+)
+
+// Oracle answers happened-before queries for a fixed trace.
+type Oracle struct {
+	n int
+	// succThread[i] / succObject[i] are the immediate successors of event i
+	// in program order / object order, or -1.
+	succThread []int
+	succObject []int
+	predThread []int
+	predObject []int
+	// after[i] is the bitset of events j with i → j (transitive, not
+	// reflexive).
+	after []bitset
+}
+
+// New builds the oracle for tr. Construction is O(E²/64) time and space in
+// the number of events; intended for test and analysis workloads, not
+// production paths.
+func New(tr *event.Trace) *Oracle {
+	n := tr.Len()
+	o := &Oracle{
+		n:          n,
+		succThread: fill(n, -1),
+		succObject: fill(n, -1),
+		predThread: fill(n, -1),
+		predObject: fill(n, -1),
+	}
+	lastOfThread := make(map[event.ThreadID]int)
+	lastOfObject := make(map[event.ObjectID]int)
+	for i := 0; i < n; i++ {
+		e := tr.At(i)
+		if p, ok := lastOfThread[e.Thread]; ok {
+			o.succThread[p] = i
+			o.predThread[i] = p
+		}
+		if p, ok := lastOfObject[e.Object]; ok {
+			o.succObject[p] = i
+			o.predObject[i] = p
+		}
+		lastOfThread[e.Thread] = i
+		lastOfObject[e.Object] = i
+	}
+
+	// The trace order is a linearization: an event's immediate successors
+	// always have larger indices, so a reverse sweep computes the closure.
+	o.after = make([]bitset, n)
+	words := (n + 63) / 64
+	for i := n - 1; i >= 0; i-- {
+		b := newBitset(words)
+		if s := o.succThread[i]; s >= 0 {
+			b.set(s)
+			b.or(o.after[s])
+		}
+		if s := o.succObject[i]; s >= 0 {
+			b.set(s)
+			b.or(o.after[s])
+		}
+		o.after[i] = b
+	}
+	return o
+}
+
+// Len returns the number of events.
+func (o *Oracle) Len() int { return o.n }
+
+// HappenedBefore reports whether event i → event j (strict: an event does
+// not happen before itself).
+func (o *Oracle) HappenedBefore(i, j int) bool {
+	o.check(i)
+	o.check(j)
+	return o.after[i].get(j)
+}
+
+// Comparable reports whether i → j or j → i.
+func (o *Oracle) Comparable(i, j int) bool {
+	return o.HappenedBefore(i, j) || o.HappenedBefore(j, i)
+}
+
+// Concurrent reports whether distinct events i and j are incomparable
+// (i ‖ j in the paper's notation). An event is not concurrent with itself.
+func (o *Oracle) Concurrent(i, j int) bool {
+	return i != j && !o.Comparable(i, j)
+}
+
+// ThreadSuccessor returns the next event by the same thread, or -1.
+func (o *Oracle) ThreadSuccessor(i int) int { o.check(i); return o.succThread[i] }
+
+// ObjectSuccessor returns the next event on the same object, or -1.
+func (o *Oracle) ObjectSuccessor(i int) int { o.check(i); return o.succObject[i] }
+
+// ThreadPredecessor returns the previous event by the same thread, or -1.
+func (o *Oracle) ThreadPredecessor(i int) int { o.check(i); return o.predThread[i] }
+
+// ObjectPredecessor returns the previous event on the same object, or -1.
+func (o *Oracle) ObjectPredecessor(i int) int { o.check(i); return o.predObject[i] }
+
+// DownSet returns all events that happened before event i, ascending.
+func (o *Oracle) DownSet(i int) []int {
+	o.check(i)
+	var out []int
+	for j := 0; j < o.n; j++ {
+		if o.after[j].get(i) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// UpSet returns all events that happened after event i, ascending.
+func (o *Oracle) UpSet(i int) []int {
+	o.check(i)
+	return o.after[i].members()
+}
+
+// ConcurrentPairs counts unordered pairs {i, j} with i ‖ j. A clock scheme
+// must report exactly these as concurrent to be valid.
+func (o *Oracle) ConcurrentPairs() int {
+	total := o.n * (o.n - 1) / 2
+	ordered := 0
+	for i := 0; i < o.n; i++ {
+		ordered += o.after[i].count()
+	}
+	return total - ordered
+}
+
+func (o *Oracle) check(i int) {
+	if i < 0 || i >= o.n {
+		panic(fmt.Sprintf("hb: event index %d out of range [0, %d)", i, o.n))
+	}
+}
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// bitset is a fixed-size set of small integers.
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) or(c bitset) {
+	for i, w := range c {
+		b[i] |= w
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) members() []int {
+	var out []int
+	for i, w := range b {
+		for w != 0 {
+			out = append(out, i*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/event"
+)
+
+// paperTrace builds a small computation used across tests:
+//
+//	e0 = T1 on O1, e1 = T2 on O2, e2 = T1 on O2, e3 = T2 on O1, e4 = T3 on O3
+//
+// Causal edges: e0→e2 (thread T1), e1→e2 (object O2)... no: e1 is T2 on O2,
+// e2 is T1 on O2 so e1→e2 via O2. e1→e3 via thread T2, e0→e3 via object O1.
+// e4 is isolated.
+func paperTrace() *event.Trace {
+	tr := event.NewTrace()
+	tr.Append(0, 0, event.OpWrite) // e0
+	tr.Append(1, 1, event.OpWrite) // e1
+	tr.Append(0, 1, event.OpWrite) // e2
+	tr.Append(1, 0, event.OpWrite) // e3
+	tr.Append(2, 2, event.OpWrite) // e4
+	return tr
+}
+
+func TestHappenedBeforeDirect(t *testing.T) {
+	o := New(paperTrace())
+	direct := []struct {
+		i, j int
+	}{
+		{0, 2}, // T1 program order
+		{1, 2}, // O2 object order
+		{1, 3}, // T2 program order
+		{0, 3}, // O1 object order
+	}
+	for _, d := range direct {
+		if !o.HappenedBefore(d.i, d.j) {
+			t.Errorf("e%d → e%d expected", d.i, d.j)
+		}
+		if o.HappenedBefore(d.j, d.i) {
+			t.Errorf("e%d → e%d unexpected", d.j, d.i)
+		}
+	}
+}
+
+func TestHappenedBeforeIsStrict(t *testing.T) {
+	o := New(paperTrace())
+	for i := 0; i < o.Len(); i++ {
+		if o.HappenedBefore(i, i) {
+			t.Errorf("e%d → e%d: relation must be irreflexive", i, i)
+		}
+		if o.Concurrent(i, i) {
+			t.Errorf("e%d ‖ e%d: an event is not concurrent with itself", i, i)
+		}
+	}
+}
+
+func TestConcurrentAndComparable(t *testing.T) {
+	o := New(paperTrace())
+	if !o.Concurrent(0, 1) {
+		t.Error("e0 ‖ e1 expected")
+	}
+	if !o.Concurrent(2, 3) {
+		t.Error("e2 ‖ e3 expected (both depend on e0, e1 but not on each other)")
+	}
+	for i := 0; i < 4; i++ {
+		if !o.Concurrent(i, 4) {
+			t.Errorf("e%d ‖ e4 expected (e4 isolated)", i)
+		}
+	}
+	if !o.Comparable(0, 2) || o.Comparable(0, 1) {
+		t.Error("Comparable wrong")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	// Chain through thread and object orders:
+	// e0 = T1/O1, e1 = T1/O2 (e0→e1 thread), e2 = T2/O2 (e1→e2 object),
+	// e3 = T2/O3 (e2→e3 thread). Then e0→e3 transitively.
+	tr := event.NewTrace()
+	tr.Append(0, 0, event.OpWrite)
+	tr.Append(0, 1, event.OpWrite)
+	tr.Append(1, 1, event.OpWrite)
+	tr.Append(1, 2, event.OpWrite)
+	o := New(tr)
+	if !o.HappenedBefore(0, 3) {
+		t.Fatal("transitive closure missing e0 → e3")
+	}
+}
+
+func TestTransitivityRandom(t *testing.T) {
+	// For random traces: i → j and j → k must imply i → k.
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		tr := randomTrace(rng, 4, 4, 40)
+		o := New(tr)
+		n := o.Len()
+		for i := 0; i < n; i++ {
+			for _, j := range o.UpSet(i) {
+				for _, k := range o.UpSet(j) {
+					if !o.HappenedBefore(i, k) {
+						t.Fatalf("trial %d: %d→%d→%d but not %d→%d", trial, i, j, k, i, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	o := New(paperTrace())
+	if got := o.ThreadSuccessor(0); got != 2 {
+		t.Errorf("ThreadSuccessor(0) = %d, want 2", got)
+	}
+	if got := o.ObjectSuccessor(0); got != 3 {
+		t.Errorf("ObjectSuccessor(0) = %d, want 3", got)
+	}
+	if got := o.ThreadPredecessor(2); got != 0 {
+		t.Errorf("ThreadPredecessor(2) = %d, want 0", got)
+	}
+	if got := o.ObjectPredecessor(3); got != 0 {
+		t.Errorf("ObjectPredecessor(3) = %d, want 0", got)
+	}
+	if got := o.ThreadSuccessor(4); got != -1 {
+		t.Errorf("ThreadSuccessor(4) = %d, want -1", got)
+	}
+	if got := o.ObjectPredecessor(0); got != -1 {
+		t.Errorf("ObjectPredecessor(0) = %d, want -1", got)
+	}
+}
+
+func TestDownSetUpSet(t *testing.T) {
+	o := New(paperTrace())
+	if got := o.DownSet(2); !equalInts(got, []int{0, 1}) {
+		t.Errorf("DownSet(2) = %v, want [0 1]", got)
+	}
+	if got := o.UpSet(0); !equalInts(got, []int{2, 3}) {
+		t.Errorf("UpSet(0) = %v, want [2 3]", got)
+	}
+	if got := o.UpSet(4); len(got) != 0 {
+		t.Errorf("UpSet(4) = %v, want empty", got)
+	}
+}
+
+func TestConcurrentPairs(t *testing.T) {
+	o := New(paperTrace())
+	// 5 events, C(5,2)=10 pairs; ordered pairs: (0,2),(0,3),(1,2),(1,3) = 4.
+	if got := o.ConcurrentPairs(); got != 6 {
+		t.Errorf("ConcurrentPairs = %d, want 6", got)
+	}
+}
+
+func TestConcurrentPairsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 15; trial++ {
+		tr := randomTrace(rng, 3, 5, 30)
+		o := New(tr)
+		brute := 0
+		for i := 0; i < o.Len(); i++ {
+			for j := i + 1; j < o.Len(); j++ {
+				if o.Concurrent(i, j) {
+					brute++
+				}
+			}
+		}
+		if got := o.ConcurrentPairs(); got != brute {
+			t.Fatalf("trial %d: ConcurrentPairs = %d, brute force = %d", trial, got, brute)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	o := New(paperTrace())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index did not panic")
+		}
+	}()
+	o.HappenedBefore(0, 99)
+}
+
+func TestSingleThreadIsChain(t *testing.T) {
+	tr := event.NewTrace()
+	for i := 0; i < 10; i++ {
+		tr.Append(0, event.ObjectID(i%3), event.OpWrite)
+	}
+	o := New(tr)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if !o.HappenedBefore(i, j) {
+				t.Fatalf("single thread: e%d → e%d missing", i, j)
+			}
+		}
+	}
+	if w := o.Width(); w != 1 {
+		t.Errorf("single-thread width = %d, want 1", w)
+	}
+	if h := o.Height(); h != 10 {
+		t.Errorf("single-thread height = %d, want 10", h)
+	}
+}
+
+func TestIndependentThreadsAreAntichain(t *testing.T) {
+	tr := event.NewTrace()
+	for i := 0; i < 6; i++ {
+		tr.Append(event.ThreadID(i), event.ObjectID(i), event.OpWrite)
+	}
+	o := New(tr)
+	if got := o.ConcurrentPairs(); got != 15 {
+		t.Errorf("ConcurrentPairs = %d, want 15", got)
+	}
+	if w := o.Width(); w != 6 {
+		t.Errorf("width = %d, want 6", w)
+	}
+	if h := o.Height(); h != 1 {
+		t.Errorf("height = %d, want 1", h)
+	}
+}
+
+func TestWidthPaperTrace(t *testing.T) {
+	o := New(paperTrace())
+	// {e0, e1, e4} and {e2, e3, e4} are maximum antichains of size 3.
+	if w := o.Width(); w != 3 {
+		t.Errorf("width = %d, want 3", w)
+	}
+	if h := o.Height(); h != 2 {
+		t.Errorf("height = %d, want 2", h)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	o := New(event.NewTrace())
+	if o.Len() != 0 || o.Width() != 0 || o.Height() != 0 {
+		t.Fatal("empty trace should have zero len/width/height")
+	}
+	if o.ChainCover() != nil {
+		t.Fatal("empty trace chain cover should be nil")
+	}
+}
+
+func TestChainCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		tr := randomTrace(rng, 4, 4, 30)
+		o := New(tr)
+		chains := o.ChainCover()
+		if len(chains) != o.Width() {
+			t.Fatalf("trial %d: %d chains, width %d", trial, len(chains), o.Width())
+		}
+		seen := make([]bool, o.Len())
+		for _, chain := range chains {
+			for k, e := range chain {
+				if seen[e] {
+					t.Fatalf("trial %d: event %d in two chains", trial, e)
+				}
+				seen[e] = true
+				if k > 0 && !o.HappenedBefore(chain[k-1], e) {
+					t.Fatalf("trial %d: chain not ordered at %d", trial, e)
+				}
+			}
+		}
+		for e, ok := range seen {
+			if !ok {
+				t.Fatalf("trial %d: event %d not covered", trial, e)
+			}
+		}
+	}
+}
+
+func TestHeightMatchesLongestChainBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 10; trial++ {
+		tr := randomTrace(rng, 3, 3, 14)
+		o := New(tr)
+		// Brute-force longest chain via DP over the full closure.
+		n := o.Len()
+		best := make([]int, n)
+		overall := 0
+		for i := 0; i < n; i++ {
+			best[i] = 1
+			for j := 0; j < i; j++ {
+				if o.HappenedBefore(j, i) && best[j]+1 > best[i] {
+					best[i] = best[j] + 1
+				}
+			}
+			if best[i] > overall {
+				overall = best[i]
+			}
+		}
+		if got := o.Height(); got != overall {
+			t.Fatalf("trial %d: Height = %d, brute force = %d", trial, got, overall)
+		}
+	}
+}
+
+func randomTrace(rng *rand.Rand, threads, objects, events int) *event.Trace {
+	tr := event.NewTrace()
+	for i := 0; i < events; i++ {
+		tr.Append(event.ThreadID(rng.Intn(threads)), event.ObjectID(rng.Intn(objects)), event.OpWrite)
+	}
+	return tr
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"mixedclock/internal/bipartite"
+)
+
+// Cover is a vertex cover of a thread–object bipartite graph: every edge has
+// at least one endpoint in the cover. Produced by KonigCover it is minimum,
+// with Size() equal to the maximum matching size (König–Egerváry theorem).
+type Cover struct {
+	// Threads and Objects are the cover members on each side, sorted
+	// ascending.
+	Threads []int
+	Objects []int
+}
+
+// Size returns the total number of cover vertices.
+func (c *Cover) Size() int { return len(c.Threads) + len(c.Objects) }
+
+// HasThread reports whether thread t is in the cover.
+func (c *Cover) HasThread(t int) bool { return containsSorted(c.Threads, t) }
+
+// HasObject reports whether object o is in the cover.
+func (c *Cover) HasObject(o int) bool { return containsSorted(c.Objects, o) }
+
+func containsSorted(xs []int, x int) bool {
+	i := sort.SearchInts(xs, x)
+	return i < len(xs) && xs[i] == x
+}
+
+// String renders the cover in the paper's notation, e.g. "{T2, O2, O3}".
+func (c *Cover) String() string {
+	parts := make([]string, 0, c.Size())
+	for _, t := range c.Threads {
+		parts = append(parts, fmt.Sprintf("T%d", t+1))
+	}
+	for _, o := range c.Objects {
+		parts = append(parts, fmt.Sprintf("O%d", o+1))
+	}
+	out := "{"
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out + "}"
+}
+
+// Verify checks that c covers every edge of g. It returns nil for a valid
+// cover.
+func (c *Cover) Verify(g *bipartite.Graph) error {
+	inT := make(map[int]bool, len(c.Threads))
+	for _, t := range c.Threads {
+		inT[t] = true
+	}
+	inO := make(map[int]bool, len(c.Objects))
+	for _, o := range c.Objects {
+		inO[o] = true
+	}
+	for _, e := range g.EdgeList() {
+		if !inT[e.Thread] && !inO[e.Object] {
+			return fmt.Errorf("matching: edge (%d, %d) uncovered", e.Thread, e.Object)
+		}
+	}
+	return nil
+}
+
+// KonigCover converts a maximum matching into a minimum vertex cover using
+// the constructive proof of the König–Egerváry theorem, exactly as lines 3–9
+// of the paper's Algorithm 1:
+//
+//	S := unmatched threads
+//	Z := S ∪ {vertices reachable from S via alternating paths}
+//	cover := (Threads − Z) ∪ (Objects ∩ Z)
+//
+// Alternating paths leave a thread over a non-matching edge and return from
+// an object over its matching edge. The resulting cover's size equals
+// m.Size(); callers may assert that via Verify and Size.
+func KonigCover(g *bipartite.Graph, m *Matching) *Cover {
+	n := g.NThreads()
+	inZT := make([]bool, n)            // threads in Z
+	inZO := make([]bool, g.NObjects()) // objects in Z
+
+	// BFS from every unmatched thread along alternating paths.
+	queue := make([]int, 0, n)
+	for t := 0; t < n; t++ {
+		if m.ThreadMatch[t] == unmatched {
+			inZT[t] = true
+			queue = append(queue, t)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		t := queue[head]
+		for _, o := range g.ThreadNeighbors(t) {
+			// Skip the matched edge out of t: alternating paths leave
+			// threads via non-matching edges only. (For unmatched t every
+			// incident edge qualifies.)
+			if m.ThreadMatch[t] == o {
+				continue
+			}
+			if inZO[o] {
+				continue
+			}
+			inZO[o] = true
+			nt := m.ObjectMatch[o]
+			if nt != unmatched && !inZT[nt] {
+				inZT[nt] = true
+				queue = append(queue, nt)
+			}
+		}
+	}
+
+	cover := &Cover{}
+	for t := 0; t < n; t++ {
+		// T − Z: unmatched threads are all in Z (they seed it), so every
+		// cover thread is matched, as the minimality proof requires.
+		if !inZT[t] {
+			cover.Threads = append(cover.Threads, t)
+		}
+	}
+	for o := range inZO {
+		if inZO[o] {
+			cover.Objects = append(cover.Objects, o)
+		}
+	}
+	// Threads and object indices were appended in ascending order already,
+	// but sort defensively so HasThread/HasObject stay correct if the
+	// construction changes.
+	sort.Ints(cover.Threads)
+	sort.Ints(cover.Objects)
+	return cover
+}
+
+// MinVertexCover computes a minimum vertex cover of g directly:
+// Hopcroft–Karp followed by KonigCover. This is the paper's Algorithm 1.
+func MinVertexCover(g *bipartite.Graph) *Cover {
+	return KonigCover(g, HopcroftKarp(g))
+}
+
+// GreedyCover computes a (not necessarily minimum) vertex cover by repeatedly
+// taking the highest-degree vertex among uncovered edges. It is the classic
+// fallback when an exact algorithm is too slow, and the evaluation uses it to
+// show how much optimality buys over a cheap heuristic.
+func GreedyCover(g *bipartite.Graph) *Cover {
+	degT := make([]int, g.NThreads())
+	degO := make([]int, g.NObjects())
+	for t := range degT {
+		degT[t] = g.ThreadDegree(t)
+	}
+	for o := range degO {
+		degO[o] = g.ObjectDegree(o)
+	}
+	covered := make(map[bipartite.Edge]bool, g.Edges())
+	remaining := g.Edges()
+	cover := &Cover{}
+	inT := make([]bool, g.NThreads())
+	inO := make([]bool, g.NObjects())
+
+	for remaining > 0 {
+		// Pick the globally highest-degree uncovered vertex; ties go to
+		// threads, then to lower indices, for determinism.
+		bestSide, bestV, bestDeg := bipartite.Threads, -1, 0
+		for t, d := range degT {
+			if !inT[t] && d > bestDeg {
+				bestSide, bestV, bestDeg = bipartite.Threads, t, d
+			}
+		}
+		for o, d := range degO {
+			if !inO[o] && d > bestDeg {
+				bestSide, bestV, bestDeg = bipartite.Objects, o, d
+			}
+		}
+		if bestV < 0 {
+			break // no uncovered edges remain (should not happen)
+		}
+		if bestSide == bipartite.Threads {
+			inT[bestV] = true
+			cover.Threads = append(cover.Threads, bestV)
+			for _, o := range g.ThreadNeighbors(bestV) {
+				e := bipartite.Edge{Thread: bestV, Object: o}
+				if !covered[e] {
+					covered[e] = true
+					remaining--
+					degO[o]--
+					degT[bestV]--
+				}
+			}
+		} else {
+			inO[bestV] = true
+			cover.Objects = append(cover.Objects, bestV)
+			for _, t := range g.ObjectNeighbors(bestV) {
+				e := bipartite.Edge{Thread: t, Object: bestV}
+				if !covered[e] {
+					covered[e] = true
+					remaining--
+					degT[t]--
+					degO[bestV]--
+				}
+			}
+		}
+	}
+	sort.Ints(cover.Threads)
+	sort.Ints(cover.Objects)
+	return cover
+}

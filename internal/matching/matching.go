@@ -1,0 +1,202 @@
+// Package matching implements maximum bipartite matching and the
+// König–Egerváry minimum-vertex-cover construction that the paper's offline
+// algorithm (Algorithm 1) is built on.
+//
+// Two matching algorithms are provided: Hopcroft–Karp (the paper's choice,
+// O(E·√V)) and Kuhn's single-augmenting-path algorithm (O(V·E)), which serves
+// as an independent cross-check in tests. Both produce a Matching from which
+// KonigCover extracts a minimum vertex cover whose size equals the matching
+// size — the certificate of optimality for the mixed vector clock.
+package matching
+
+import (
+	"fmt"
+
+	"mixedclock/internal/bipartite"
+)
+
+// unmatched marks a vertex with no partner.
+const unmatched = -1
+
+// Matching is a set of vertex-disjoint edges in a thread–object bipartite
+// graph, stored as partner indices in both directions.
+type Matching struct {
+	// ThreadMatch[t] is the object matched to thread t, or -1.
+	ThreadMatch []int
+	// ObjectMatch[o] is the thread matched to object o, or -1.
+	ObjectMatch []int
+	size        int
+}
+
+// newMatching returns an empty matching for a graph with the given sides.
+func newMatching(nThreads, nObjects int) *Matching {
+	m := &Matching{
+		ThreadMatch: make([]int, nThreads),
+		ObjectMatch: make([]int, nObjects),
+	}
+	for i := range m.ThreadMatch {
+		m.ThreadMatch[i] = unmatched
+	}
+	for i := range m.ObjectMatch {
+		m.ObjectMatch[i] = unmatched
+	}
+	return m
+}
+
+// Size returns the number of matched edges.
+func (m *Matching) Size() int { return m.size }
+
+// Pairs returns the matched (thread, object) edges in thread order.
+func (m *Matching) Pairs() []bipartite.Edge {
+	out := make([]bipartite.Edge, 0, m.size)
+	for t, o := range m.ThreadMatch {
+		if o != unmatched {
+			out = append(out, bipartite.Edge{Thread: t, Object: o})
+		}
+	}
+	return out
+}
+
+// Verify checks internal consistency against g: every matched pair is an
+// edge of g, and the two directions agree. It returns nil for a valid
+// matching.
+func (m *Matching) Verify(g *bipartite.Graph) error {
+	if len(m.ThreadMatch) != g.NThreads() || len(m.ObjectMatch) != g.NObjects() {
+		return fmt.Errorf("matching: dimensions %dx%d do not fit graph %dx%d",
+			len(m.ThreadMatch), len(m.ObjectMatch), g.NThreads(), g.NObjects())
+	}
+	count := 0
+	for t, o := range m.ThreadMatch {
+		if o == unmatched {
+			continue
+		}
+		count++
+		if o < 0 || o >= g.NObjects() {
+			return fmt.Errorf("matching: thread %d matched to out-of-range object %d", t, o)
+		}
+		if m.ObjectMatch[o] != t {
+			return fmt.Errorf("matching: asymmetric pair (%d, %d)", t, o)
+		}
+		if !g.HasEdge(t, o) {
+			return fmt.Errorf("matching: pair (%d, %d) is not an edge", t, o)
+		}
+	}
+	for o, t := range m.ObjectMatch {
+		if t != unmatched && m.ThreadMatch[t] != o {
+			return fmt.Errorf("matching: asymmetric pair (%d, %d) on object side", t, o)
+		}
+	}
+	if count != m.size {
+		return fmt.Errorf("matching: size %d but %d matched threads", m.size, count)
+	}
+	return nil
+}
+
+// HopcroftKarp computes a maximum matching of g in O(E·√V): repeatedly build
+// a BFS layering from all unmatched threads, then augment along a maximal
+// set of vertex-disjoint shortest augmenting paths found by DFS, until no
+// augmenting path exists.
+func HopcroftKarp(g *bipartite.Graph) *Matching {
+	n, m := g.NThreads(), g.NObjects()
+	match := newMatching(n, m)
+	if n == 0 || m == 0 {
+		return match
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+
+	// bfs layers unmatched threads at distance 0 and alternates
+	// unmatched/matched edges; it reports whether any augmenting path
+	// (ending in an unmatched object) exists.
+	queue := make([]int, 0, n)
+	bfs := func() bool {
+		queue = queue[:0]
+		for t := 0; t < n; t++ {
+			if match.ThreadMatch[t] == unmatched {
+				dist[t] = 0
+				queue = append(queue, t)
+			} else {
+				dist[t] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			t := queue[head]
+			for _, o := range g.ThreadNeighbors(t) {
+				nt := match.ObjectMatch[o]
+				if nt == unmatched {
+					found = true
+					continue
+				}
+				if dist[nt] == inf {
+					dist[nt] = dist[t] + 1
+					queue = append(queue, nt)
+				}
+			}
+		}
+		return found
+	}
+
+	// dfs extends a shortest alternating path from thread t; on success it
+	// flips the path's edges into the matching.
+	var dfs func(t int) bool
+	dfs = func(t int) bool {
+		for _, o := range g.ThreadNeighbors(t) {
+			nt := match.ObjectMatch[o]
+			if nt == unmatched || (dist[nt] == dist[t]+1 && dfs(nt)) {
+				match.ThreadMatch[t] = o
+				match.ObjectMatch[o] = t
+				return true
+			}
+		}
+		// Dead end: prune t from this phase.
+		dist[t] = inf
+		return false
+	}
+
+	for bfs() {
+		for t := 0; t < n; t++ {
+			if match.ThreadMatch[t] == unmatched && dfs(t) {
+				match.size++
+			}
+		}
+	}
+	return match
+}
+
+// Kuhn computes a maximum matching with the classical single augmenting-path
+// algorithm (O(V·E)). It is slower than Hopcroft–Karp but so simple that it
+// makes a trustworthy oracle: tests assert both algorithms agree on size.
+func Kuhn(g *bipartite.Graph) *Matching {
+	n, m := g.NThreads(), g.NObjects()
+	match := newMatching(n, m)
+	if n == 0 || m == 0 {
+		return match
+	}
+	visited := make([]bool, m)
+	var try func(t int) bool
+	try = func(t int) bool {
+		for _, o := range g.ThreadNeighbors(t) {
+			if visited[o] {
+				continue
+			}
+			visited[o] = true
+			if match.ObjectMatch[o] == unmatched || try(match.ObjectMatch[o]) {
+				match.ThreadMatch[t] = o
+				match.ObjectMatch[o] = t
+				return true
+			}
+		}
+		return false
+	}
+	for t := 0; t < n; t++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		if try(t) {
+			match.size++
+		}
+	}
+	return match
+}

@@ -1,0 +1,311 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/bipartite"
+)
+
+// buildGraph constructs a graph from explicit edges on fixed-size sides.
+func buildGraph(nT, nO int, edges [][2]int) *bipartite.Graph {
+	g := bipartite.New(nT, nO)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestHopcroftKarpHandCases(t *testing.T) {
+	tests := []struct {
+		name  string
+		nT    int
+		nO    int
+		edges [][2]int
+		want  int
+	}{
+		{"empty", 0, 0, nil, 0},
+		{"no edges", 3, 3, nil, 0},
+		{"single edge", 1, 1, [][2]int{{0, 0}}, 1},
+		{"perfect 3x3 diagonal", 3, 3, [][2]int{{0, 0}, {1, 1}, {2, 2}}, 3},
+		{"star needs one", 4, 1, [][2]int{{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1},
+		{"two stars", 4, 2, [][2]int{{0, 0}, {1, 0}, {2, 1}, {3, 1}}, 2},
+		{
+			// The classic case where greedy fails: t0 may grab o1, forcing
+			// an augmenting path to match both.
+			"augmenting path needed", 2, 2,
+			[][2]int{{0, 0}, {0, 1}, {1, 1}},
+			2,
+		},
+		{
+			"paper example (fig 2)", 4, 4,
+			[][2]int{{1, 0}, {1, 1}, {1, 2}, {0, 1}, {2, 2}, {3, 1}, {2, 1}},
+			3,
+		},
+		{"complete 3x2", 3, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}}, 2},
+		{
+			"path graph", 3, 3,
+			[][2]int{{0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 2}},
+			3,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildGraph(tt.nT, tt.nO, tt.edges)
+			m := HopcroftKarp(g)
+			if m.Size() != tt.want {
+				t.Errorf("HopcroftKarp size = %d, want %d", m.Size(), tt.want)
+			}
+			if err := m.Verify(g); err != nil {
+				t.Errorf("invalid matching: %v", err)
+			}
+			k := Kuhn(g)
+			if k.Size() != tt.want {
+				t.Errorf("Kuhn size = %d, want %d", k.Size(), tt.want)
+			}
+			if err := k.Verify(g); err != nil {
+				t.Errorf("invalid Kuhn matching: %v", err)
+			}
+		})
+	}
+}
+
+func TestHopcroftKarpMatchesKuhnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		nT := 1 + rng.Intn(40)
+		nO := 1 + rng.Intn(40)
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: nT, NObjects: nO, Density: rng.Float64(),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hk := HopcroftKarp(g)
+		ku := Kuhn(g)
+		if hk.Size() != ku.Size() {
+			t.Fatalf("trial %d: HK=%d Kuhn=%d on %v", trial, hk.Size(), ku.Size(), g)
+		}
+		if err := hk.Verify(g); err != nil {
+			t.Fatalf("trial %d: HK invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestKonigCoverCertificate(t *testing.T) {
+	// König–Egerváry: for every graph, the cover from a maximum matching
+	// must (a) cover all edges and (b) have size exactly |M|. Together these
+	// certify both the matching's maximality and the cover's minimality.
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 80; trial++ {
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: 1 + rng.Intn(35),
+			NObjects: 1 + rng.Intn(35),
+			Density:  rng.Float64(),
+			Scenario: bipartite.Scenario(1 + rng.Intn(2)),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := HopcroftKarp(g)
+		c := KonigCover(g, m)
+		if err := c.Verify(g); err != nil {
+			t.Fatalf("trial %d: cover invalid: %v", trial, err)
+		}
+		if c.Size() != m.Size() {
+			t.Fatalf("trial %d: |cover|=%d != |matching|=%d", trial, c.Size(), m.Size())
+		}
+	}
+}
+
+func TestKonigCoverPaperExample(t *testing.T) {
+	// Fig. 2 of the paper: a 4x4 computation whose minimum vertex cover has
+	// size 3 (the paper picks {T2, O2, O3}; any size-3 cover is optimal).
+	g := buildGraph(4, 4, [][2]int{
+		{1, 0}, {1, 1}, {1, 2}, // T2 touches O1, O2, O3
+		{0, 1}, // T1 touches O2
+		{2, 2}, // T3 touches O3
+		{3, 1}, // T4 touches O2
+		{2, 1}, // T3 touches O2
+	})
+	c := MinVertexCover(g)
+	if c.Size() != 3 {
+		t.Fatalf("cover size = %d, want 3 (%v)", c.Size(), c)
+	}
+	if err := c.Verify(g); err != nil {
+		t.Fatalf("cover invalid: %v", err)
+	}
+	if min := 4; c.Size() >= min {
+		t.Fatalf("mixed cover %d not smaller than min(threads, objects) = %d", c.Size(), min)
+	}
+}
+
+func TestCoverNeverExceedsEitherSide(t *testing.T) {
+	// The mixed clock must never be larger than the thread-based or
+	// object-based clock (§II): |cover| ≤ min(n, m) whenever every vertex
+	// on the smaller side could cover everything.
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 50; trial++ {
+		nT := 1 + rng.Intn(30)
+		nO := 1 + rng.Intn(30)
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: nT, NObjects: nO, Density: rng.Float64(),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := MinVertexCover(g)
+		bound := nT
+		if nO < bound {
+			bound = nO
+		}
+		if c.Size() > bound {
+			t.Fatalf("trial %d: cover %d exceeds min(%d, %d)", trial, c.Size(), nT, nO)
+		}
+	}
+}
+
+func TestCoverLookupAndString(t *testing.T) {
+	c := &Cover{Threads: []int{1}, Objects: []int{1, 2}}
+	if !c.HasThread(1) || c.HasThread(0) {
+		t.Error("HasThread wrong")
+	}
+	if !c.HasObject(2) || c.HasObject(0) {
+		t.Error("HasObject wrong")
+	}
+	if got := c.String(); got != "{T2, O2, O3}" {
+		t.Errorf("String = %q, want {T2, O2, O3}", got)
+	}
+	empty := &Cover{}
+	if got := empty.String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	if empty.Size() != 0 {
+		t.Errorf("empty Size = %d", empty.Size())
+	}
+}
+
+func TestCoverVerifyRejectsBadCover(t *testing.T) {
+	g := buildGraph(2, 2, [][2]int{{0, 0}, {1, 1}})
+	bad := &Cover{Threads: []int{0}} // misses edge (1,1)
+	if err := bad.Verify(g); err == nil {
+		t.Fatal("uncovering cover accepted")
+	}
+}
+
+func TestMatchingVerifyRejectsCorruption(t *testing.T) {
+	g := buildGraph(2, 2, [][2]int{{0, 0}, {1, 1}})
+	m := HopcroftKarp(g)
+
+	tests := []struct {
+		name    string
+		corrupt func(*Matching)
+	}{
+		{"asymmetric", func(m *Matching) { m.ThreadMatch[0] = 1 }},
+		{"non-edge", func(m *Matching) {
+			m.ThreadMatch[0], m.ObjectMatch[1] = 1, 0
+			m.ThreadMatch[1], m.ObjectMatch[0] = 0, 1
+		}},
+		{"out of range", func(m *Matching) { m.ThreadMatch[0] = 5 }},
+		{"size lies", func(m *Matching) { m.size = 7 }},
+		{"wrong dims", func(m *Matching) { m.ThreadMatch = m.ThreadMatch[:1] }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := &Matching{
+				ThreadMatch: append([]int(nil), m.ThreadMatch...),
+				ObjectMatch: append([]int(nil), m.ObjectMatch...),
+				size:        m.size,
+			}
+			tt.corrupt(c)
+			if err := c.Verify(g); err == nil {
+				t.Error("corrupted matching accepted")
+			}
+		})
+	}
+}
+
+func TestPairs(t *testing.T) {
+	g := buildGraph(3, 3, [][2]int{{0, 1}, {2, 0}})
+	m := HopcroftKarp(g)
+	pairs := m.Pairs()
+	if len(pairs) != 2 {
+		t.Fatalf("Pairs len = %d, want 2", len(pairs))
+	}
+	want := map[bipartite.Edge]bool{{Thread: 0, Object: 1}: true, {Thread: 2, Object: 0}: true}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected pair %v", p)
+		}
+	}
+}
+
+func TestGreedyCoverValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 40; trial++ {
+		g, err := bipartite.Generate(bipartite.GenConfig{
+			NThreads: 1 + rng.Intn(30),
+			NObjects: 1 + rng.Intn(30),
+			Density:  rng.Float64(),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := GreedyCover(g)
+		if err := greedy.Verify(g); err != nil {
+			t.Fatalf("trial %d: greedy cover invalid: %v", trial, err)
+		}
+		optimal := MinVertexCover(g)
+		if greedy.Size() < optimal.Size() {
+			t.Fatalf("trial %d: greedy %d beat optimal %d — impossible", trial, greedy.Size(), optimal.Size())
+		}
+		// Greedy for vertex cover on bipartite graphs is a ln-factor
+		// approximation in theory; sanity-check a loose factor here.
+		if optimal.Size() > 0 && greedy.Size() > 3*optimal.Size() {
+			t.Fatalf("trial %d: greedy %d vs optimal %d beyond expected factor", trial, greedy.Size(), optimal.Size())
+		}
+	}
+}
+
+func TestGreedyCoverEmpty(t *testing.T) {
+	c := GreedyCover(bipartite.New(3, 3))
+	if c.Size() != 0 {
+		t.Fatalf("greedy cover of empty graph = %v", c)
+	}
+}
+
+func TestMinVertexCoverDenseGraph(t *testing.T) {
+	// Complete bipartite K(n,m): min cover = min(n, m).
+	g := bipartite.New(5, 7)
+	for tID := 0; tID < 5; tID++ {
+		for o := 0; o < 7; o++ {
+			g.AddEdge(tID, o)
+		}
+	}
+	c := MinVertexCover(g)
+	if c.Size() != 5 {
+		t.Fatalf("K(5,7) cover = %d, want 5", c.Size())
+	}
+}
+
+func TestMinVertexCoverChainGraph(t *testing.T) {
+	// A path t0-o0-t1-o1-...: cover size = ceil(edges/2) alternating.
+	g := bipartite.New(4, 4)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 1)
+	g.AddEdge(2, 1)
+	g.AddEdge(2, 2)
+	g.AddEdge(3, 2)
+	g.AddEdge(3, 3)
+	// Path with 7 edges and 8 vertices: max matching (= min cover) is 4? No:
+	// a path with 2k edges has matching k; 7 edges -> matching 4 requires 8
+	// vertex-disjoint endpoints; here matching = 4 (edges 1,3,5,7).
+	c := MinVertexCover(g)
+	if c.Size() != 4 {
+		t.Fatalf("path cover = %d, want 4 (%v)", c.Size(), c)
+	}
+	if err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}

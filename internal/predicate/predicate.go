@@ -1,0 +1,259 @@
+// Package predicate implements global predicate detection over a recorded
+// computation — the debugging question the paper's introduction points at:
+// "could the program ever have been in a bad global state?". Because a
+// computation is a partial order, the observed interleaving is only one
+// path through the lattice of consistent global states; a bug predicate
+// that happened to be false along the observed path may still hold on
+// another. Possibly explores the whole lattice; Definitely checks whether
+// every execution path must pass through a matching state (Cooper–Marzullo
+// modalities).
+//
+// Both are exponential in the number of threads in the worst case; the
+// maxStates budget keeps them bounded and explicit.
+package predicate
+
+import (
+	"errors"
+	"fmt"
+
+	"mixedclock/internal/cut"
+	"mixedclock/internal/event"
+)
+
+// ErrBudget is returned when the lattice exploration exceeds maxStates.
+var ErrBudget = errors.New("predicate: state budget exhausted")
+
+// State is one consistent global state: a per-thread count of executed
+// events plus derived views. Predicates must treat it as read-only.
+type State struct {
+	tr *event.Trace
+	// executed[t] = number of events of thread t already executed.
+	executed []int
+	// lastOfObject[o] = index of the last executed event on object o, -1
+	// if none.
+	lastOfObject []int
+	// eventsOfThread[t] lists event indices of thread t in program order.
+	eventsOfThread [][]int
+}
+
+// Executed returns how many events of thread t have run.
+func (s *State) Executed(t event.ThreadID) int { return s.executed[t] }
+
+// Total returns the total number of executed events in this state.
+func (s *State) Total() int {
+	n := 0
+	for _, c := range s.executed {
+		n += c
+	}
+	return n
+}
+
+// LastEvent returns thread t's most recently executed event.
+func (s *State) LastEvent(t event.ThreadID) (event.Event, bool) {
+	c := s.executed[t]
+	if c == 0 {
+		return event.Event{}, false
+	}
+	return s.tr.At(s.eventsOfThread[t][c-1]), true
+}
+
+// LastOnObject returns the most recently executed event on object o.
+func (s *State) LastOnObject(o event.ObjectID) (event.Event, bool) {
+	if int(o) >= len(s.lastOfObject) || s.lastOfObject[o] < 0 {
+		return event.Event{}, false
+	}
+	return s.tr.At(s.lastOfObject[o]), true
+}
+
+// Cut returns the state as a cut (per-thread prefix lengths).
+func (s *State) Cut() cut.Cut {
+	return cut.Cut{PerThread: append([]int(nil), s.executed...)}
+}
+
+// Predicate evaluates a property of one consistent global state.
+type Predicate func(s *State) bool
+
+// detector holds the per-trace machinery shared by Possibly and Definitely.
+type detector struct {
+	tr             *event.Trace
+	eventsOfThread [][]int
+	// objPred[e] = event index of e's object predecessor, or -1.
+	objPred []int
+	// seqInThread[e] = position of event e within its thread.
+	seqInThread []int
+	threads     int
+}
+
+func newDetector(tr *event.Trace) *detector {
+	d := &detector{
+		tr:             tr,
+		eventsOfThread: tr.ByThread(),
+		objPred:        make([]int, tr.Len()),
+		seqInThread:    make([]int, tr.Len()),
+		threads:        tr.Threads(),
+	}
+	lastObj := make(map[event.ObjectID]int)
+	seq := make([]int, tr.Threads())
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.At(i)
+		if p, ok := lastObj[e.Object]; ok {
+			d.objPred[i] = p
+		} else {
+			d.objPred[i] = -1
+		}
+		lastObj[e.Object] = i
+		d.seqInThread[i] = seq[e.Thread]
+		seq[e.Thread]++
+	}
+	return d
+}
+
+// enabled reports whether thread t can execute its next event in the state
+// with the given executed counts: the event's object predecessor (if any)
+// must already be executed.
+func (d *detector) enabled(executed []int, t int) bool {
+	c := executed[t]
+	if c >= len(d.eventsOfThread[t]) {
+		return false
+	}
+	idx := d.eventsOfThread[t][c]
+	p := d.objPred[idx]
+	if p < 0 {
+		return true
+	}
+	pt := d.tr.At(p).Thread
+	return d.seqInThread[p] < executed[pt]
+}
+
+// state materializes a State for predicate evaluation.
+func (d *detector) state(executed []int) *State {
+	lastOfObject := make([]int, d.tr.Objects())
+	for o := range lastOfObject {
+		lastOfObject[o] = -1
+	}
+	// The last executed event on each object is the max executed index on
+	// it; recompute by scanning executed prefixes (cheap relative to the
+	// lattice search itself).
+	for t := 0; t < d.threads; t++ {
+		for _, idx := range d.eventsOfThread[t][:executed[t]] {
+			e := d.tr.At(idx)
+			if idx > lastOfObject[e.Object] {
+				lastOfObject[e.Object] = idx
+			}
+		}
+	}
+	return &State{
+		tr:             d.tr,
+		executed:       append([]int(nil), executed...),
+		lastOfObject:   lastOfObject,
+		eventsOfThread: d.eventsOfThread,
+	}
+}
+
+func key(executed []int) string {
+	b := make([]byte, 0, len(executed)*2)
+	for _, c := range executed {
+		b = append(b, byte(c), byte(c>>8))
+	}
+	return string(b)
+}
+
+// Possibly reports whether some consistent global state of tr satisfies
+// pred, returning a witness cut when found. It explores at most maxStates
+// distinct states (0 means DefaultMaxStates) and returns ErrBudget when the
+// lattice is larger and no witness was found within the budget.
+func Possibly(tr *event.Trace, pred Predicate, maxStates int) (cut.Cut, bool, error) {
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	d := newDetector(tr)
+	start := make([]int, d.threads)
+	seen := map[string]bool{key(start): true}
+	queue := [][]int{start}
+	truncated := false
+
+	for head := 0; head < len(queue); head++ {
+		executed := queue[head]
+		st := d.state(executed)
+		if pred(st) {
+			return st.Cut(), true, nil
+		}
+		for t := 0; t < d.threads; t++ {
+			if !d.enabled(executed, t) {
+				continue
+			}
+			next := append([]int(nil), executed...)
+			next[t]++
+			k := key(next)
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= maxStates {
+				truncated = true
+				continue
+			}
+			seen[k] = true
+			queue = append(queue, next)
+		}
+	}
+	if truncated {
+		return cut.Cut{}, false, fmt.Errorf("%w: explored %d states", ErrBudget, maxStates)
+	}
+	return cut.Cut{}, false, nil
+}
+
+// DefaultMaxStates bounds lattice exploration when the caller passes 0.
+const DefaultMaxStates = 1 << 20
+
+// Definitely reports whether every execution path of tr passes through a
+// state satisfying pred (Cooper–Marzullo's Definitely modality). It holds
+// exactly when no path from the initial to the final state avoids pred
+// throughout, which is checked by searching the sub-lattice of ¬pred
+// states. The maxStates budget applies as in Possibly.
+func Definitely(tr *event.Trace, pred Predicate, maxStates int) (bool, error) {
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	d := newDetector(tr)
+	start := make([]int, d.threads)
+	if pred(d.state(start)) {
+		// The initial state is on every path.
+		return true, nil
+	}
+	final := make([]int, d.threads)
+	for t := range final {
+		final[t] = len(d.eventsOfThread[t])
+	}
+	finalKey := key(final)
+
+	seen := map[string]bool{key(start): true}
+	queue := [][]int{start}
+	for head := 0; head < len(queue); head++ {
+		executed := queue[head]
+		if key(executed) == finalKey {
+			// A complete path avoided pred.
+			return false, nil
+		}
+		for t := 0; t < d.threads; t++ {
+			if !d.enabled(executed, t) {
+				continue
+			}
+			next := append([]int(nil), executed...)
+			next[t]++
+			k := key(next)
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= maxStates {
+				return false, fmt.Errorf("%w: explored %d states", ErrBudget, maxStates)
+			}
+			seen[k] = true
+			if pred(d.state(next)) {
+				continue // path must pass pred here; do not expand further
+			}
+			queue = append(queue, next)
+		}
+	}
+	// Every ¬pred-path got stuck before the final state.
+	return true, nil
+}

@@ -1,0 +1,52 @@
+package tlog
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/clock"
+	"mixedclock/internal/core"
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+func benchComputation(b *testing.B, events int) (*event.Trace, []vclock.Vector) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	tr := event.NewTrace()
+	for i := 0; i < events; i++ {
+		tr.Append(event.ThreadID(rng.Intn(16)), event.ObjectID(rng.Intn(16)), event.OpWrite)
+	}
+	return tr, clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+}
+
+func BenchmarkWriteAll(b *testing.B) {
+	tr, stamps := benchComputation(b, 10_000)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteAll(&buf, tr, stamps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len())/float64(tr.Len()), "bytes/event")
+}
+
+func BenchmarkReadAll(b *testing.B) {
+	tr, stamps := benchComputation(b, 10_000)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr, stamps); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadAll(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package tlog implements a compact binary log of timestamped events — the
+// persistence format for computations whose timestamps should survive the
+// process (post-mortem debugging, recovery lines after a crash).
+//
+// Format: an 8-byte magic header, then one record per event:
+//
+//	uvarint thread | uvarint object | uvarint op | canonical vector
+//
+// where the vector is a uvarint component count followed by uvarint
+// components (trailing zeros trimmed, as in vclock's codec). Records are
+// self-delimiting, so a log truncated by a crash is readable up to the last
+// complete record; ReadAll returns the readable prefix together with
+// ErrTruncated, which is exactly what failure recovery wants.
+package tlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+// magic identifies the format and its version.
+var magic = [8]byte{'M', 'V', 'C', 'L', 'O', 'G', '0', '1'}
+
+// Errors returned by readers.
+var (
+	// ErrBadMagic means the input is not a tlog stream.
+	ErrBadMagic = errors.New("tlog: bad magic header")
+	// ErrTruncated means the stream ended mid-record; data read up to the
+	// previous record is valid.
+	ErrTruncated = errors.New("tlog: truncated record")
+	// ErrCorrupt means a record carries an out-of-bounds field (e.g. an
+	// absurd thread ID or component count); data read up to the previous
+	// record is valid.
+	ErrCorrupt = errors.New("tlog: corrupt record")
+)
+
+// Field bounds: IDs and vector widths beyond these indicate corruption, not
+// a legitimately huge system, and guard the reader against allocating
+// attacker-controlled amounts of memory.
+const (
+	maxID         = 1<<31 - 1
+	maxOp         = 1 << 16
+	maxComponents = 1 << 24
+)
+
+// Writer appends timestamped events to a stream. Call Flush before closing
+// the underlying writer.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	buf     []byte
+}
+
+// NewWriter returns a Writer on w. The magic header is written lazily on
+// the first Append, so an abandoned Writer leaves no bytes behind.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Append writes one record.
+func (w *Writer) Append(e event.Event, v vclock.Vector) error {
+	if e.Thread < 0 || e.Object < 0 || e.Op < 0 {
+		return fmt.Errorf("tlog: negative field in event %v", e)
+	}
+	if !w.started {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("tlog: writing header: %w", err)
+		}
+		w.started = true
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.AppendUvarint(w.buf, uint64(e.Thread))
+	w.buf = binary.AppendUvarint(w.buf, uint64(e.Object))
+	w.buf = binary.AppendUvarint(w.buf, uint64(e.Op))
+	w.buf = v.AppendBinary(w.buf)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("tlog: writing record: %w", err)
+	}
+	return nil
+}
+
+// Flush pushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("tlog: flushing: %w", err)
+	}
+	return nil
+}
+
+// Reader iterates a tlog stream.
+type Reader struct {
+	r     *bufio.Reader
+	index int
+}
+
+// NewReader validates the magic header and returns a Reader. An empty
+// stream (no header at all) yields a Reader that immediately reports
+// io.EOF, matching the lazy-header Writer.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magic))
+	if err == io.EOF && len(head) == 0 {
+		return &Reader{r: br}, nil
+	}
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("tlog: reading header: %w", err)
+	}
+	if !bytes.Equal(head, magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if _, err := br.Discard(len(magic)); err != nil {
+		return nil, fmt.Errorf("tlog: discarding header: %w", err)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record. It reports io.EOF at a clean end of stream
+// and ErrTruncated when the stream stops mid-record.
+func (r *Reader) Next() (event.Event, vclock.Vector, error) {
+	t, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		return event.Event{}, nil, io.EOF // clean boundary
+	}
+	if err != nil {
+		return event.Event{}, nil, fmt.Errorf("%w: thread field: %v", ErrTruncated, err)
+	}
+	if t > maxID {
+		return event.Event{}, nil, fmt.Errorf("%w: thread ID %d", ErrCorrupt, t)
+	}
+	o, err := r.field("object")
+	if err != nil {
+		return event.Event{}, nil, err
+	}
+	if o > maxID {
+		return event.Event{}, nil, fmt.Errorf("%w: object ID %d", ErrCorrupt, o)
+	}
+	op, err := r.field("op")
+	if err != nil {
+		return event.Event{}, nil, err
+	}
+	if op > maxOp {
+		return event.Event{}, nil, fmt.Errorf("%w: op %d", ErrCorrupt, op)
+	}
+	n, err := r.field("component count")
+	if err != nil {
+		return event.Event{}, nil, err
+	}
+	if n > maxComponents {
+		return event.Event{}, nil, fmt.Errorf("%w: component count %d", ErrCorrupt, n)
+	}
+	// Grow incrementally: each component consumes at least one input byte,
+	// so a lying count cannot force a large allocation up front.
+	v := make(vclock.Vector, 0, min(n, 64))
+	for i := uint64(0); i < n; i++ {
+		x, err := r.field("component")
+		if err != nil {
+			return event.Event{}, nil, err
+		}
+		v = append(v, x)
+	}
+	e := event.Event{
+		Index:  r.index,
+		Thread: event.ThreadID(t),
+		Object: event.ObjectID(o),
+		Op:     event.Op(op),
+	}
+	r.index++
+	return e, v, nil
+}
+
+func (r *Reader) field(name string) (uint64, error) {
+	x, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s field: %v", ErrTruncated, name, err)
+	}
+	return x, nil
+}
+
+// WriteAll writes a whole timestamped computation.
+func WriteAll(w io.Writer, tr *event.Trace, stamps []vclock.Vector) error {
+	if len(stamps) != tr.Len() {
+		return fmt.Errorf("tlog: %d stamps for %d events", len(stamps), tr.Len())
+	}
+	lw := NewWriter(w)
+	for i := 0; i < tr.Len(); i++ {
+		if err := lw.Append(tr.At(i), stamps[i]); err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}
+
+// ReadAll reads every complete record. On truncation it returns the
+// readable prefix together with an error wrapping ErrTruncated, so crash
+// recovery can proceed with what survived.
+func ReadAll(r io.Reader) (*event.Trace, []vclock.Vector, error) {
+	lr, err := NewReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := event.NewTrace()
+	var stamps []vclock.Vector
+	for {
+		e, v, err := lr.Next()
+		if err == io.EOF {
+			return tr, stamps, nil
+		}
+		if err != nil {
+			return tr, stamps, err
+		}
+		tr.Append(e.Thread, e.Object, e.Op)
+		stamps = append(stamps, v)
+	}
+}

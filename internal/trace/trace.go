@@ -1,0 +1,339 @@
+// Package trace generates synthetic computations (full event sequences, not
+// just graphs) for tests, examples and the evaluation harness. The paper's
+// own evaluation draws random bipartite graphs; these generators additionally
+// produce the event streams behind such graphs, plus workload families whose
+// access structure motivates the mixed clock: producer–consumer pipelines,
+// readers–writers, phased computations and lock-striped maps.
+//
+// All generators take an explicit *rand.Rand; the same seed reproduces the
+// same trace.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/event"
+)
+
+// Workload enumerates the built-in trace families.
+type Workload int
+
+const (
+	// Uniform draws every event's thread and object independently and
+	// uniformly — the paper's Uniform scenario as an event stream.
+	Uniform Workload = iota + 1
+	// HotSet marks 10% of threads and objects hot, mirroring the paper's
+	// Nonuniform scenario: hot entities participate in most events.
+	HotSet
+	// Zipf draws each event's object from a Zipf distribution: a few
+	// heavily contended objects, a long cold tail.
+	Zipf
+	// ProducerConsumer wires producer threads to consumer threads through
+	// a small set of shared queue objects; non-queue work touches private
+	// objects.
+	ProducerConsumer
+	// ReadersWriters gives every object occasional writes and frequent
+	// reads from many threads.
+	ReadersWriters
+	// Phased splits the computation into phases; within a phase each
+	// thread works on that phase's object partition, then all threads
+	// synchronize through a barrier object.
+	Phased
+	// LockStriped hashes threads onto stripes of objects, as in a striped
+	// hash map: most accesses stay within a thread's home stripe.
+	LockStriped
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	switch w {
+	case Uniform:
+		return "uniform"
+	case HotSet:
+		return "hotset"
+	case Zipf:
+		return "zipf"
+	case ProducerConsumer:
+		return "producer-consumer"
+	case ReadersWriters:
+		return "readers-writers"
+	case Phased:
+		return "phased"
+	case LockStriped:
+		return "lock-striped"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// Workloads lists every built-in family, for sweeps.
+func Workloads() []Workload {
+	return []Workload{Uniform, HotSet, Zipf, ProducerConsumer, ReadersWriters, Phased, LockStriped}
+}
+
+// Config parameterizes trace generation. Threads, Objects and Events are
+// required; the rest default sensibly per workload.
+type Config struct {
+	Threads int
+	Objects int
+	Events  int
+	// ReadFraction is the probability an event is a read (default 0 —
+	// the paper's model where every operation conflicts).
+	ReadFraction float64
+	// ZipfSkew is the s parameter for Zipf (must be > 1; default 1.3).
+	ZipfSkew float64
+	// Queues is the number of shared queue objects for ProducerConsumer
+	// (default max(1, Objects/8)).
+	Queues int
+	// Phases is the phase count for Phased (default 4).
+	Phases int
+	// Stripes is the stripe count for LockStriped (default max(1,
+	// Threads/4)).
+	Stripes int
+	// HotFraction is the hot-entity fraction for HotSet (default 0.1).
+	HotFraction float64
+	// HotProb is the probability an event involves a hot object for
+	// HotSet (default 0.8).
+	HotProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ZipfSkew == 0 {
+		c.ZipfSkew = 1.3
+	}
+	if c.Queues == 0 {
+		c.Queues = max(1, c.Objects/8)
+	}
+	if c.Phases == 0 {
+		c.Phases = 4
+	}
+	if c.Stripes == 0 {
+		c.Stripes = max(1, c.Threads/4)
+	}
+	if c.HotFraction == 0 {
+		c.HotFraction = 0.1
+	}
+	if c.HotProb == 0 {
+		c.HotProb = 0.8
+	}
+	return c
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.Threads <= 0:
+		return fmt.Errorf("trace: threads %d must be positive", c.Threads)
+	case c.Objects <= 0:
+		return fmt.Errorf("trace: objects %d must be positive", c.Objects)
+	case c.Events < 0:
+		return fmt.Errorf("trace: events %d must be non-negative", c.Events)
+	case c.ReadFraction < 0 || c.ReadFraction > 1:
+		return fmt.Errorf("trace: read fraction %f outside [0,1]", c.ReadFraction)
+	case c.ZipfSkew <= 1:
+		return fmt.Errorf("trace: zipf skew %f must exceed 1", c.ZipfSkew)
+	case c.HotFraction < 0 || c.HotFraction > 1:
+		return fmt.Errorf("trace: hot fraction %f outside [0,1]", c.HotFraction)
+	case c.HotProb < 0 || c.HotProb > 1:
+		return fmt.Errorf("trace: hot probability %f outside [0,1]", c.HotProb)
+	}
+	return nil
+}
+
+// Generate builds a trace of the given family.
+func Generate(w Workload, cfg Config, rng *rand.Rand) (*event.Trace, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch w {
+	case Uniform:
+		return genUniform(cfg, rng), nil
+	case HotSet:
+		return genHotSet(cfg, rng), nil
+	case Zipf:
+		return genZipf(cfg, rng), nil
+	case ProducerConsumer:
+		return genProducerConsumer(cfg, rng), nil
+	case ReadersWriters:
+		return genReadersWriters(cfg, rng), nil
+	case Phased:
+		return genPhased(cfg, rng), nil
+	case LockStriped:
+		return genLockStriped(cfg, rng), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown workload %d", int(w))
+	}
+}
+
+// op draws the operation kind per cfg.ReadFraction.
+func (c Config) op(rng *rand.Rand) event.Op {
+	if c.ReadFraction > 0 && rng.Float64() < c.ReadFraction {
+		return event.OpRead
+	}
+	return event.OpWrite
+}
+
+func genUniform(cfg Config, rng *rand.Rand) *event.Trace {
+	tr := event.NewTrace()
+	for i := 0; i < cfg.Events; i++ {
+		tr.Append(event.ThreadID(rng.Intn(cfg.Threads)), event.ObjectID(rng.Intn(cfg.Objects)), cfg.op(rng))
+	}
+	return tr
+}
+
+func genHotSet(cfg Config, rng *rand.Rand) *event.Trace {
+	hotT := max(1, int(float64(cfg.Threads)*cfg.HotFraction))
+	hotO := max(1, int(float64(cfg.Objects)*cfg.HotFraction))
+	tr := event.NewTrace()
+	for i := 0; i < cfg.Events; i++ {
+		var tid, oid int
+		if rng.Float64() < cfg.HotProb {
+			tid = rng.Intn(hotT)
+		} else {
+			tid = rng.Intn(cfg.Threads)
+		}
+		if rng.Float64() < cfg.HotProb {
+			oid = rng.Intn(hotO)
+		} else {
+			oid = rng.Intn(cfg.Objects)
+		}
+		tr.Append(event.ThreadID(tid), event.ObjectID(oid), cfg.op(rng))
+	}
+	return tr
+}
+
+func genZipf(cfg Config, rng *rand.Rand) *event.Trace {
+	z := rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(cfg.Objects-1))
+	tr := event.NewTrace()
+	for i := 0; i < cfg.Events; i++ {
+		tr.Append(event.ThreadID(rng.Intn(cfg.Threads)), event.ObjectID(z.Uint64()), cfg.op(rng))
+	}
+	return tr
+}
+
+func genProducerConsumer(cfg Config, rng *rand.Rand) *event.Trace {
+	queues := min(cfg.Queues, cfg.Objects)
+	tr := event.NewTrace()
+	producers := max(1, cfg.Threads/2)
+	for i := 0; i < cfg.Events; i++ {
+		tid := rng.Intn(cfg.Threads)
+		isProducer := tid < producers
+		var oid int
+		var op event.Op
+		switch {
+		case rng.Float64() < 0.5:
+			// Queue interaction: producers write, consumers read-drain
+			// (modelled as a write, since dequeuing mutates).
+			oid = rng.Intn(queues)
+			op = event.OpWrite
+		case isProducer:
+			// Producers also touch their private scratch objects.
+			oid = queues + (tid % max(1, cfg.Objects-queues))
+			op = cfg.op(rng)
+		default:
+			oid = queues + rng.Intn(max(1, cfg.Objects-queues))
+			op = event.OpRead
+		}
+		if oid >= cfg.Objects {
+			oid = cfg.Objects - 1
+		}
+		tr.Append(event.ThreadID(tid), event.ObjectID(oid), op)
+	}
+	return tr
+}
+
+func genReadersWriters(cfg Config, rng *rand.Rand) *event.Trace {
+	tr := event.NewTrace()
+	for i := 0; i < cfg.Events; i++ {
+		op := event.OpRead
+		if rng.Float64() < 0.1 {
+			op = event.OpWrite
+		}
+		tr.Append(event.ThreadID(rng.Intn(cfg.Threads)), event.ObjectID(rng.Intn(cfg.Objects)), op)
+	}
+	return tr
+}
+
+func genPhased(cfg Config, rng *rand.Rand) *event.Trace {
+	tr := event.NewTrace()
+	phases := min(cfg.Phases, cfg.Objects)
+	perPhase := cfg.Events / phases
+	// Object 0 is the barrier; the rest are partitioned across phases.
+	workObjects := max(1, cfg.Objects-1)
+	for phase := 0; phase < phases; phase++ {
+		lo := 1 + phase*workObjects/phases
+		hi := 1 + (phase+1)*workObjects/phases
+		if hi <= lo {
+			hi = lo + 1
+		}
+		for i := 0; i < perPhase; i++ {
+			tid := event.ThreadID(rng.Intn(cfg.Threads))
+			oid := event.ObjectID(lo + rng.Intn(hi-lo))
+			if int(oid) >= cfg.Objects {
+				oid = event.ObjectID(cfg.Objects - 1)
+			}
+			tr.Append(tid, oid, cfg.op(rng))
+		}
+		// Barrier: every thread touches object 0.
+		for tid := 0; tid < cfg.Threads; tid++ {
+			tr.Append(event.ThreadID(tid), 0, event.OpWrite)
+		}
+	}
+	return tr
+}
+
+func genLockStriped(cfg Config, rng *rand.Rand) *event.Trace {
+	stripes := min(cfg.Stripes, cfg.Objects)
+	tr := event.NewTrace()
+	for i := 0; i < cfg.Events; i++ {
+		tid := rng.Intn(cfg.Threads)
+		stripe := tid % stripes
+		// 90% of accesses stay in the home stripe; 10% roam.
+		if rng.Float64() < 0.1 {
+			stripe = rng.Intn(stripes)
+		}
+		// Objects are distributed round-robin across stripes.
+		objInStripe := rng.Intn(max(1, cfg.Objects/stripes))
+		oid := stripe + objInStripe*stripes
+		if oid >= cfg.Objects {
+			oid = stripe
+		}
+		tr.Append(event.ThreadID(tid), event.ObjectID(oid), cfg.op(rng))
+	}
+	return tr
+}
+
+// FromGraph materializes a computation whose bipartite projection is exactly
+// g: every edge appears as at least one event (in a shuffled reveal order),
+// followed by extraEvents additional operations on random existing edges.
+// This ties the paper's graph-level scenarios to full event streams.
+func FromGraph(g *bipartite.Graph, extraEvents int, rng *rand.Rand) *event.Trace {
+	edges := g.RevealOrder(rng)
+	tr := event.NewTrace()
+	for _, e := range edges {
+		tr.Append(event.ThreadID(e.Thread), event.ObjectID(e.Object), event.OpWrite)
+	}
+	for i := 0; i < extraEvents && len(edges) > 0; i++ {
+		e := edges[rng.Intn(len(edges))]
+		tr.Append(event.ThreadID(e.Thread), event.ObjectID(e.Object), event.OpWrite)
+	}
+	return tr
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/clock"
+	"mixedclock/internal/core"
+)
+
+func TestWorkloadString(t *testing.T) {
+	for _, w := range Workloads() {
+		if s := w.String(); s == "" || s[0] == 'W' {
+			t.Errorf("workload %d has bad name %q", int(w), s)
+		}
+	}
+	if got := Workload(99).String(); got != "Workload(99)" {
+		t.Errorf("unknown workload name %q", got)
+	}
+}
+
+func TestGenerateAllWorkloads(t *testing.T) {
+	cfg := Config{Threads: 8, Objects: 16, Events: 400}
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			tr, err := Generate(w, cfg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() < cfg.Events {
+				t.Fatalf("trace has %d events, want ≥ %d", tr.Len(), cfg.Events)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Threads() > cfg.Threads || tr.Objects() > cfg.Objects {
+				t.Fatalf("trace uses %d/%d, config allows %d/%d",
+					tr.Threads(), tr.Objects(), cfg.Threads, cfg.Objects)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Threads: 6, Objects: 6, Events: 200}
+	for _, w := range Workloads() {
+		tr1, err := Generate(w, cfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Generate(w, cfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr1.Len() != tr2.Len() {
+			t.Fatalf("%v: same seed, different lengths", w)
+		}
+		for i := 0; i < tr1.Len(); i++ {
+			if tr1.At(i) != tr2.At(i) {
+				t.Fatalf("%v: same seed, diverged at event %d", w, i)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownWorkload(t *testing.T) {
+	if _, err := Generate(Workload(99), Config{Threads: 1, Objects: 1, Events: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Threads: 0, Objects: 1, Events: 1},
+		{Threads: 1, Objects: 0, Events: 1},
+		{Threads: 1, Objects: 1, Events: -1},
+		{Threads: 1, Objects: 1, Events: 1, ReadFraction: 1.5},
+		{Threads: 1, Objects: 1, Events: 1, ZipfSkew: 0.5},
+		{Threads: 1, Objects: 1, Events: 1, HotFraction: 2},
+		{Threads: 1, Objects: 1, Events: 1, HotProb: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(Uniform, cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestReadFraction(t *testing.T) {
+	cfg := Config{Threads: 4, Objects: 4, Events: 2000, ReadFraction: 0.5}
+	tr, err := Generate(Uniform, cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	frac := float64(s.Reads) / float64(s.Events)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("read fraction %f too far from 0.5", frac)
+	}
+}
+
+func TestHotSetSkew(t *testing.T) {
+	cfg := Config{Threads: 20, Objects: 20, Events: 4000}
+	tr, err := Generate(HotSet, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot objects are ids 0..1 (10% of 20); with HotProb 0.8 they should
+	// absorb most events (the bipartite projection saturates on long
+	// traces, so count events, not edges).
+	counts := make([]int, 20)
+	for _, e := range tr.Events() {
+		counts[e.Object]++
+	}
+	hot := counts[0] + counts[1]
+	cold := 0
+	for o := 2; o < 20; o++ {
+		cold += counts[o]
+	}
+	if hot < 2*cold {
+		t.Fatalf("hot objects not hot: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestZipfContention(t *testing.T) {
+	cfg := Config{Threads: 10, Objects: 50, Events: 3000}
+	tr, err := Generate(Zipf, cfg, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 50)
+	for _, e := range tr.Events() {
+		counts[e.Object]++
+	}
+	if counts[0] < counts[49]*3 {
+		t.Fatalf("no zipf skew: first=%d last=%d", counts[0], counts[49])
+	}
+}
+
+func TestReadersWritersMostlyReads(t *testing.T) {
+	cfg := Config{Threads: 8, Objects: 8, Events: 2000}
+	tr, err := Generate(ReadersWriters, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if s.Reads < s.Writes {
+		t.Fatalf("readers-writers generated %d reads vs %d writes", s.Reads, s.Writes)
+	}
+}
+
+func TestPhasedHasBarrier(t *testing.T) {
+	cfg := Config{Threads: 6, Objects: 12, Events: 600, Phases: 3}
+	tr, err := Generate(Phased, cfg, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every thread must touch the barrier object (object 0) in each phase:
+	// at least Threads × Phases barrier events.
+	barrier := 0
+	for _, e := range tr.Events() {
+		if e.Object == 0 {
+			barrier++
+		}
+	}
+	if barrier < 18 {
+		t.Fatalf("barrier events = %d, want ≥ 18", barrier)
+	}
+}
+
+func TestLockStripedLocality(t *testing.T) {
+	cfg := Config{Threads: 8, Objects: 32, Events: 2000, Stripes: 4}
+	tr, err := Generate(LockStriped, cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most events should stay in the thread's home stripe (tid % 4).
+	home := 0
+	for _, e := range tr.Events() {
+		if int(e.Object)%4 == int(e.Thread)%4 {
+			home++
+		}
+	}
+	if float64(home)/float64(tr.Len()) < 0.8 {
+		t.Fatalf("only %d/%d events in home stripe", home, tr.Len())
+	}
+}
+
+func TestFromGraphCoversAllEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g, err := bipartite.Generate(bipartite.GenConfig{NThreads: 10, NObjects: 10, Density: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := FromGraph(g, 50, rng)
+	if tr.Len() != g.Edges()+50 {
+		t.Fatalf("trace length %d, want %d", tr.Len(), g.Edges()+50)
+	}
+	back := bipartite.FromTrace(tr)
+	if back.Edges() != g.Edges() {
+		t.Fatalf("projection has %d edges, want %d", back.Edges(), g.Edges())
+	}
+	for _, e := range g.EdgeList() {
+		if !back.HasEdge(e.Thread, e.Object) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestFromGraphEmpty(t *testing.T) {
+	tr := FromGraph(bipartite.New(3, 3), 10, rand.New(rand.NewSource(1)))
+	if tr.Len() != 0 {
+		t.Fatalf("empty graph gave %d events", tr.Len())
+	}
+}
+
+func TestAllWorkloadsYieldValidMixedClocks(t *testing.T) {
+	// End-to-end: for every workload family, the offline mixed clock must
+	// be valid and no larger than min(threads, objects).
+	cfg := Config{Threads: 5, Objects: 7, Events: 60}
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.String(), func(t *testing.T) {
+			tr, err := Generate(w, cfg, rand.New(rand.NewSource(11)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := core.AnalyzeTrace(tr)
+			if err := a.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			if a.VectorSize() > 5 {
+				t.Fatalf("mixed clock size %d exceeds min(5, 7)", a.VectorSize())
+			}
+			if _, err := clock.RunAndValidate(tr, a.NewClock()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

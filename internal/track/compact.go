@@ -1,0 +1,89 @@
+package track
+
+import (
+	"fmt"
+
+	"mixedclock/internal/core"
+	"mixedclock/internal/vclock"
+)
+
+// Epoch compaction. Online mechanisms can only ever add components, so a
+// long-lived tracker drifts above the offline optimum as the access
+// structure evolves. Compact re-bases the clock: it computes the optimal
+// component set for the graph revealed so far (Algorithm 1) and starts a
+// new epoch whose vectors are zero over those components.
+//
+// Cross-epoch semantics: compaction is a synchronization barrier. Commits
+// are totally ordered by the tracker's lock, so every event of epoch k
+// commits before every event of epoch k+1; Stamped.Order reports earlier
+// epochs as Before. That is SOUND — it never inverts a true
+// happened-before relation — but it COARSENS concurrency: two events in
+// different epochs always read as ordered even if the program imposed no
+// dependency between them. Within an epoch, precision is exact as before.
+// Call Compact at natural barriers (phase changes, checkpoints) where that
+// coarsening is already true of the program.
+
+// Order compares two stamped operations from the same tracker, taking
+// epochs into account: within an epoch, the vector order; across epochs,
+// the epoch order.
+func (s Stamped) Order(t Stamped) vclock.Ordering {
+	switch {
+	case s.Epoch < t.Epoch:
+		return vclock.Before
+	case s.Epoch > t.Epoch:
+		return vclock.After
+	default:
+		return s.Vector.Compare(t.Vector)
+	}
+}
+
+// Compact starts a new epoch over the optimal component set for the
+// computation revealed so far. It returns the new epoch number and the
+// compacted clock size. Pending operations blocked on the tracker commit
+// into the new epoch.
+func (t *Tracker) Compact() (epoch, size int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	analysis := core.Analyze(t.cover.Graph())
+	if verr := analysis.Verify(); verr != nil {
+		return 0, 0, fmt.Errorf("track: compaction analysis: %w", verr)
+	}
+	seeded, err := core.NewSeededCoverTracker(t.cover.Mechanism(), analysis.Graph, analysis.Components)
+	if err != nil {
+		return 0, 0, fmt.Errorf("track: compaction: %w", err)
+	}
+	t.cover = seeded
+	t.clock = core.NewMixedClock(seeded.Components())
+	t.epoch++
+	t.epochStart = append(t.epochStart, t.trace.Len())
+	return t.epoch, seeded.Size(), nil
+}
+
+// Epoch returns the current epoch number (0 before any compaction).
+func (t *Tracker) Epoch() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// EpochStarts returns, for each epoch, the index of its first event in the
+// recorded trace. Epoch 0 always starts at 0; an epoch may be empty.
+func (t *Tracker) EpochStarts() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]int{0}, t.epochStart...)
+}
+
+// EpochOf returns the epoch that event index i was recorded in.
+func (t *Tracker) EpochOf(i int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	epoch := 0
+	for _, start := range t.epochStart {
+		if i >= start {
+			epoch++
+		}
+	}
+	return epoch
+}

@@ -1,0 +1,235 @@
+// Package track provides live causality tracking for real goroutines — the
+// "multithreaded systems" substrate of the paper, with goroutines as threads
+// and lock-protected shared objects as the paper's sequential objects.
+//
+// A Tracker owns the clock state. Goroutines register as Threads, shared
+// state registers as Objects, and every operation runs through Thread.Do,
+// which enforces the per-object mutual exclusion the paper assumes, assigns
+// the operation a mixed-vector-clock timestamp (growing the component set
+// online via a configurable mechanism), and records the event. The recorded
+// trace and timestamps can then be analyzed, validated, or replayed
+// offline.
+package track
+
+import (
+	"fmt"
+	"sync"
+
+	"mixedclock/internal/core"
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+// Stamped is one recorded operation with its timestamp. Epoch counts the
+// compactions that preceded the operation (see Compact); comparisons
+// between stamps honour it.
+type Stamped struct {
+	Event  event.Event
+	Vector vclock.Vector
+	Epoch  int
+}
+
+// HappenedBefore reports whether s's operation causally precedes t's,
+// decided from the timestamps (Theorem 2) and, across epochs, the
+// compaction barrier order.
+func (s Stamped) HappenedBefore(t Stamped) bool { return s.Order(t) == vclock.Before }
+
+// Concurrent reports whether the two operations are causally unrelated.
+// Operations in different epochs are never concurrent: compaction is a
+// barrier.
+func (s Stamped) Concurrent(t Stamped) bool { return s.Order(t) == vclock.Concurrent }
+
+// Tracker coordinates causality tracking across goroutines. Create one per
+// tracked computation with NewTracker; all methods are safe for concurrent
+// use.
+type Tracker struct {
+	mu      sync.Mutex
+	cover   *core.CoverTracker
+	clock   *core.MixedClock
+	trace   *event.Trace
+	stamps  []vclock.Vector
+	threads []*Thread
+	objects []*Object
+	// epoch counts compactions; epochStart[i] is the trace index where
+	// epoch i+1 began.
+	epoch      int
+	epochStart []int
+	// firstErr keeps the first clock misuse across epochs (each
+	// compaction installs a fresh clock, which would otherwise reset Err).
+	firstErr error
+}
+
+// Option configures a Tracker.
+type Option func(*options)
+
+type options struct {
+	mech core.Mechanism
+}
+
+// WithMechanism selects the online component-choice mechanism (default: the
+// paper's recommended Hybrid — Popularity first, NaiveThreads once the
+// revealed graph grows dense or large).
+func WithMechanism(m core.Mechanism) Option {
+	return func(o *options) { o.mech = m }
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker(opts ...Option) *Tracker {
+	o := options{mech: core.NewHybrid()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cover := core.NewCoverTracker(o.mech)
+	return &Tracker{
+		cover: cover,
+		clock: core.NewMixedClock(cover.Components()),
+		trace: event.NewTrace(),
+	}
+}
+
+// Thread is a registered logical thread. A Thread must be used by one
+// goroutine at a time (typically the goroutine that created it), mirroring
+// the paper's sequential processes; the Tracker itself is what synchronizes
+// cross-thread state.
+type Thread struct {
+	t    *Tracker
+	id   event.ThreadID
+	name string
+}
+
+// ID returns the thread's dense identifier.
+func (th *Thread) ID() event.ThreadID { return th.id }
+
+// Name returns the label passed to NewThread.
+func (th *Thread) Name() string { return th.name }
+
+// Object is a registered shared object. Its embedded lock enforces the
+// paper's assumption that operations on a single object are sequential.
+type Object struct {
+	mu   sync.Mutex
+	t    *Tracker
+	id   event.ObjectID
+	name string
+}
+
+// ID returns the object's dense identifier.
+func (o *Object) ID() event.ObjectID { return o.id }
+
+// Name returns the label passed to NewObject.
+func (o *Object) Name() string { return o.name }
+
+// NewThread registers a new logical thread.
+func (t *Tracker) NewThread(name string) *Thread {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	th := &Thread{t: t, id: event.ThreadID(len(t.threads)), name: name}
+	t.threads = append(t.threads, th)
+	return th
+}
+
+// NewObject registers a new shared object.
+func (t *Tracker) NewObject(name string) *Object {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o := &Object{t: t, id: event.ObjectID(len(t.objects)), name: name}
+	t.objects = append(t.objects, o)
+	return o
+}
+
+// Do performs fn as one operation by th on o: it locks o (sequentializing
+// the object), runs fn, then timestamps and records the operation. The
+// object lock is held across both fn and the clock update so the recorded
+// object order matches the execution order.
+//
+// Nested Do calls on *different* objects are allowed (the inner operation is
+// recorded first, as its own event); the usual lock-ordering discipline
+// applies, exactly as with raw mutexes.
+func (th *Thread) Do(o *Object, op event.Op, fn func()) Stamped {
+	if th.t != o.t {
+		panic(fmt.Sprintf("track: thread %q and object %q belong to different trackers", th.name, o.name))
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return th.t.commit(th.id, o.id, op)
+}
+
+// Write is shorthand for Do(o, event.OpWrite, fn).
+func (th *Thread) Write(o *Object, fn func()) Stamped { return th.Do(o, event.OpWrite, fn) }
+
+// Read is shorthand for Do(o, event.OpRead, fn).
+func (th *Thread) Read(o *Object, fn func()) Stamped { return th.Do(o, event.OpRead, fn) }
+
+// commit records the event under the tracker lock. The trace order it
+// produces is a linearization of the happened-before order: the caller holds
+// the object lock, the calling goroutine serializes the thread, and this
+// lock serializes the rest.
+func (t *Tracker) commit(tid event.ThreadID, oid event.ObjectID, op event.Op) Stamped {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cover.Reveal(tid, oid)
+	e := t.trace.Append(tid, oid, op)
+	v := t.clock.Timestamp(e)
+	if err := t.clock.Err(); err != nil && t.firstErr == nil {
+		t.firstErr = err
+	}
+	t.stamps = append(t.stamps, v)
+	return Stamped{Event: e, Vector: v, Epoch: t.epoch}
+}
+
+// Size returns the current vector-clock size (number of components).
+func (t *Tracker) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cover.Size()
+}
+
+// Components returns the current component set as a copy.
+func (t *Tracker) Components() []core.Component {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cover.Components().Components()
+}
+
+// Events returns the number of recorded operations.
+func (t *Tracker) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trace.Len()
+}
+
+// Trace returns a copy of the recorded computation.
+func (t *Tracker) Trace() *event.Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := event.NewTrace()
+	for i := 0; i < t.trace.Len(); i++ {
+		out.AppendEvent(t.trace.At(i))
+	}
+	return out
+}
+
+// Stamps returns a copy of the recorded timestamps, indexed by event index.
+func (t *Tracker) Stamps() []vclock.Vector {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]vclock.Vector, len(t.stamps))
+	for i, v := range t.stamps {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// Err surfaces clock misuse (an uncovered event), which would indicate a bug
+// in the tracker; always nil in correct operation. The first error from any
+// epoch is retained.
+func (t *Tracker) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.firstErr != nil {
+		return t.firstErr
+	}
+	return t.clock.Err()
+}

@@ -1,0 +1,70 @@
+package vclock
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for vector timestamps: a uvarint component count followed by
+// one uvarint per component. Trailing zero components are trimmed before
+// encoding — comparison semantics treat them as absent anyway — which makes
+// encodings canonical: equal vectors (in the Compare sense) encode to equal
+// bytes.
+
+// AppendBinary appends the canonical encoding of v to dst and returns the
+// extended slice.
+func (v Vector) AppendBinary(dst []byte) []byte {
+	n := len(v)
+	for n > 0 && v[n-1] == 0 {
+		n--
+	}
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for _, x := range v[:n] {
+		dst = binary.AppendUvarint(dst, x)
+	}
+	return dst
+}
+
+// MarshalBinary encodes v canonically.
+func (v Vector) MarshalBinary() ([]byte, error) {
+	return v.AppendBinary(nil), nil
+}
+
+// DecodeVector decodes one vector from the front of data, returning the
+// vector and the number of bytes consumed.
+func DecodeVector(data []byte) (Vector, int, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("vclock: truncated component count")
+	}
+	if n > uint64(len(data)) {
+		// Each component takes at least one byte; a count beyond the
+		// remaining bytes is corrupt and would otherwise over-allocate.
+		return nil, 0, fmt.Errorf("vclock: component count %d exceeds input", n)
+	}
+	total := used
+	v := make(Vector, n)
+	for i := range v {
+		x, u := binary.Uvarint(data[total:])
+		if u <= 0 {
+			return nil, 0, fmt.Errorf("vclock: truncated component %d", i)
+		}
+		v[i] = x
+		total += u
+	}
+	return v, total, nil
+}
+
+// UnmarshalBinary decodes a vector produced by MarshalBinary. Trailing
+// unread bytes are an error, so accidental concatenation is caught.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	got, used, err := DecodeVector(data)
+	if err != nil {
+		return err
+	}
+	if used != len(data) {
+		return fmt.Errorf("vclock: %d trailing bytes after vector", len(data)-used)
+	}
+	*v = got
+	return nil
+}

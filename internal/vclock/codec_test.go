@@ -1,0 +1,110 @@
+package vclock
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tests := []Vector{
+		nil,
+		{},
+		{0},
+		{1},
+		{1, 2, 3},
+		{0, 0, 7},
+		{1 << 40, 0, 1 << 63},
+	}
+	for _, v := range tests {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Vector
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestCodecCanonical(t *testing.T) {
+	// Vectors equal under Compare encode identically: trailing zeros trim.
+	a, _ := Vector{1, 2}.MarshalBinary()
+	b, _ := Vector{1, 2, 0, 0}.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encodings differ: %x vs %x", a, b)
+	}
+	empty, _ := Vector{0, 0}.MarshalBinary()
+	if len(empty) != 1 || empty[0] != 0 {
+		t.Fatalf("all-zero vector encodes as %x, want 00", empty)
+	}
+}
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		v := make(Vector, len(raw))
+		for i, x := range raw {
+			v[i] = uint64(x)
+		}
+		data := v.AppendBinary(nil)
+		got, used, err := DecodeVector(data)
+		return err == nil && used == len(data) && got.Equal(v)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeVectorStream(t *testing.T) {
+	// Multiple vectors concatenated decode sequentially via DecodeVector.
+	var buf []byte
+	vs := []Vector{{1}, {2, 3}, nil}
+	for _, v := range vs {
+		buf = v.AppendBinary(buf)
+	}
+	off := 0
+	for i, want := range vs {
+		got, used, err := DecodeVector(buf[off:])
+		if err != nil {
+			t.Fatalf("vector %d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("vector %d: got %v, want %v", i, got, want)
+		}
+		off += used
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	var v Vector
+	if err := v.UnmarshalBinary(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{3, 1}); err == nil {
+		t.Error("truncated components accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}); err == nil {
+		t.Error("absurd component count accepted")
+	}
+	good := Vector{1}.AppendBinary(nil)
+	if err := v.UnmarshalBinary(append(good, 0x05)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestCodecCompactness(t *testing.T) {
+	// Small values take one byte each: a 3-component vector of small
+	// counters is 4 bytes, versus 24 for fixed 64-bit words.
+	v := Vector{7, 1, 120}
+	data, _ := v.MarshalBinary()
+	if len(data) != 4 {
+		t.Fatalf("encoding is %d bytes, want 4", len(data))
+	}
+}

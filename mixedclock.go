@@ -1,0 +1,153 @@
+package mixedclock
+
+import (
+	"io"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/clock"
+	"mixedclock/internal/core"
+	"mixedclock/internal/event"
+	"mixedclock/internal/tlog"
+	"mixedclock/internal/track"
+	"mixedclock/internal/vclock"
+)
+
+// Re-exported model types. The library's packages live under internal/; the
+// aliases below form the supported public surface.
+type (
+	// Event is one operation: Thread performed Op on Object.
+	Event = event.Event
+	// ThreadID identifies a thread (dense, 0-based).
+	ThreadID = event.ThreadID
+	// ObjectID identifies a shared object (dense, 0-based).
+	ObjectID = event.ObjectID
+	// Op distinguishes reads from writes (writes by default).
+	Op = event.Op
+	// Trace is an ordered computation.
+	Trace = event.Trace
+
+	// Vector is a growable vector timestamp.
+	Vector = vclock.Vector
+	// Ordering is the result of comparing two timestamps.
+	Ordering = vclock.Ordering
+
+	// Graph is the thread–object bipartite graph of a computation.
+	Graph = bipartite.Graph
+
+	// Component is one mixed-clock coordinate: a thread or an object.
+	Component = core.Component
+	// ComponentSet is an append-only ordered set of components.
+	ComponentSet = core.ComponentSet
+	// Analysis is the offline algorithm's result: graph, maximum matching,
+	// minimum vertex cover, and optimal components.
+	Analysis = core.Analysis
+	// MixedClock timestamps events over a fixed component set.
+	MixedClock = core.MixedClock
+	// OnlineClock grows its component set as events reveal new edges.
+	OnlineClock = core.OnlineMixedClock
+	// Mechanism chooses components in the online setting.
+	Mechanism = core.Mechanism
+	// NaiveThreads always picks the thread (classical thread clock).
+	NaiveThreads = core.NaiveThreads
+	// NaiveObjects always picks the object (classical object clock).
+	NaiveObjects = core.NaiveObjects
+	// Random picks a side uniformly at random.
+	Random = core.Random
+	// Popularity picks the endpoint with higher degree/|E|.
+	Popularity = core.Popularity
+	// Hybrid starts with Popularity and falls back to Naive past
+	// density/size thresholds, per the paper's conclusion.
+	Hybrid = core.Hybrid
+
+	// Timestamper is the interface all clock schemes implement.
+	Timestamper = clock.Timestamper
+
+	// Tracker coordinates live causality tracking across goroutines.
+	Tracker = track.Tracker
+	// Thread is a registered logical thread (one per goroutine).
+	Thread = track.Thread
+	// Object is a registered, lock-protected shared object.
+	Object = track.Object
+	// Stamped is a recorded operation with its timestamp.
+	Stamped = track.Stamped
+	// TrackerOption configures NewTracker.
+	TrackerOption = track.Option
+)
+
+// Ordering values returned by Vector.Compare.
+const (
+	Equal      = vclock.Equal
+	Before     = vclock.Before
+	After      = vclock.After
+	Concurrent = vclock.Concurrent
+)
+
+// Operation kinds.
+const (
+	OpWrite = event.OpWrite
+	OpRead  = event.OpRead
+)
+
+// NewTrace returns an empty computation; use Append to add operations.
+func NewTrace() *Trace { return event.NewTrace() }
+
+// ReadTrace parses a trace from the JSON Lines format written by
+// Trace.WriteJSONL.
+func ReadTrace(r io.Reader) (*Trace, error) { return event.ReadJSONL(r) }
+
+// GraphFromTrace projects a computation onto its thread–object bipartite
+// graph.
+func GraphFromTrace(tr *Trace) *Graph { return bipartite.FromTrace(tr) }
+
+// Analyze runs the paper's offline algorithm (Algorithm 1) on a graph:
+// maximum matching, minimum vertex cover, optimal mixed-clock components.
+func Analyze(g *Graph) *Analysis { return core.Analyze(g) }
+
+// AnalyzeTrace is Analyze on the trace's graph.
+func AnalyzeTrace(tr *Trace) *Analysis { return core.AnalyzeTrace(tr) }
+
+// NewClock returns an offline mixed clock over a fixed component set.
+func NewClock(comps *ComponentSet) *MixedClock { return core.NewMixedClock(comps) }
+
+// NewOnlineClock returns a clock that grows its components online, driven by
+// the given mechanism.
+func NewOnlineClock(m Mechanism) *OnlineClock { return core.NewOnlineMixedClock(m) }
+
+// NewHybrid returns the paper's recommended online mechanism: Popularity
+// while the revealed graph is small and sparse, NaiveThreads afterwards.
+func NewHybrid() Hybrid { return core.NewHybrid() }
+
+// NewTracker returns a live tracker for goroutine-level causality tracking.
+func NewTracker(opts ...TrackerOption) *Tracker { return track.NewTracker(opts...) }
+
+// WithMechanism selects the tracker's online mechanism.
+func WithMechanism(m Mechanism) TrackerOption { return track.WithMechanism(m) }
+
+// Run drives a timestamper over a whole trace, returning one timestamp per
+// event.
+func Run(tr *Trace, ts Timestamper) []Vector { return clock.Run(tr, ts) }
+
+// Validate checks Theorem 2 exhaustively against the ground-truth
+// happened-before oracle: s → t ⇔ s.V < t.V for every pair of events. Meant
+// for tests and debugging (cost is quadratic in trace length).
+func Validate(tr *Trace, stamps []Vector, scheme string) error {
+	return clock.Validate(tr, stamps, scheme)
+}
+
+// WriteLog persists a timestamped computation in the compact binary log
+// format (self-delimiting records; a truncated log stays readable up to the
+// last complete record).
+func WriteLog(w io.Writer, tr *Trace, stamps []Vector) error {
+	return tlog.WriteAll(w, tr, stamps)
+}
+
+// ErrLogTruncated wraps reads of logs cut short by a crash; ReadLog returns
+// it together with the readable prefix.
+var ErrLogTruncated = tlog.ErrTruncated
+
+// ReadLog loads a timestamped computation written by WriteLog. On
+// truncation it returns the complete-record prefix along with an error
+// wrapping ErrLogTruncated.
+func ReadLog(r io.Reader) (*Trace, []Vector, error) {
+	return tlog.ReadAll(r)
+}
