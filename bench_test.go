@@ -19,6 +19,7 @@ import (
 	"mixedclock/internal/experiment"
 	"mixedclock/internal/matching"
 	"mixedclock/internal/trace"
+	"mixedclock/internal/vclock"
 )
 
 // benchOpts keeps figure benches fast while preserving the paper's scale
@@ -148,6 +149,103 @@ func BenchmarkTimestamp(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(events)), "ns/event")
 		})
+	}
+}
+
+// backendTraces builds the workload shapes for the flat-vs-tree backend
+// head-to-head. Each shape stresses a different join profile over a wide
+// component set (hundreds of components), which is where the representations
+// diverge: flat pays O(width) per event regardless, tree pays only for the
+// components each join changes.
+func backendTraces() []struct {
+	name string
+	tr   *mixedclock.Trace
+} {
+	// deep-join: every thread touches a private object once (forcing a wide
+	// cover that then goes quiescent), after which two threads ping-pong
+	// through one token object — a causal chain thousands of joins deep
+	// where each join changes only the chain's own components.
+	deep := mixedclock.NewTrace()
+	const deepThreads, deepRounds = 256, 6000
+	for i := 0; i < deepThreads; i++ {
+		deep.Append(mixedclock.ThreadID(i), mixedclock.ObjectID(i), mixedclock.OpWrite)
+	}
+	token := mixedclock.ObjectID(deepThreads)
+	for r := 0; r < deepRounds; r++ {
+		deep.Append(0, token, mixedclock.OpWrite)
+		deep.Append(1, token, mixedclock.OpWrite)
+	}
+
+	// wide-fanin: producers tick private mailboxes, one collector sweeps
+	// all of them every round.
+	fanin := mixedclock.NewTrace()
+	const producers, faninRounds = 192, 30
+	for r := 0; r < faninRounds; r++ {
+		for i := 1; i <= producers; i++ {
+			fanin.Append(mixedclock.ThreadID(i), mixedclock.ObjectID(i), mixedclock.OpWrite)
+		}
+		for i := 1; i <= producers; i++ {
+			fanin.Append(0, mixedclock.ObjectID(i), mixedclock.OpRead)
+		}
+	}
+
+	// read-heavy: after one covering pass, every thread re-reads only its
+	// own object — each join is already dominated.
+	reads := mixedclock.NewTrace()
+	const readThreads, readRounds = 256, 60
+	for r := 0; r <= readRounds; r++ {
+		for i := 0; i < readThreads; i++ {
+			op := mixedclock.OpRead
+			if r == 0 {
+				op = mixedclock.OpWrite
+			}
+			reads.Append(mixedclock.ThreadID(i), mixedclock.ObjectID(i), op)
+		}
+	}
+
+	// seeded: the hot-set generator workload the rest of the suite uses.
+	rng := rand.New(rand.NewSource(13))
+	base, err := trace.Generate(trace.HotSet, trace.Config{Threads: 50, Objects: 50, Events: 1_000}, rng)
+	if err != nil {
+		panic(err)
+	}
+	seeded := trace.FromGraph(bipartite.FromTrace(base), 9_000, rng)
+
+	return []struct {
+		name string
+		tr   *mixedclock.Trace
+	}{
+		{"deep-join", deep},
+		{"wide-fanin", fanin},
+		{"read-heavy", reads},
+		{"seeded-hotset", seeded},
+	}
+}
+
+// BenchmarkBackends runs the flat and tree clock backends head-to-head over
+// the same optimal component sets. The acceptance bar: tree at least matches
+// flat on the deep-join chain, and wins outright wherever joins have causal
+// locality.
+func BenchmarkBackends(b *testing.B) {
+	for _, shape := range backendTraces() {
+		analysis := core.AnalyzeTrace(shape.tr)
+		events := shape.tr.Events()
+		for _, backend := range []vclock.Backend{vclock.BackendFlat, vclock.BackendTree} {
+			b.Run(shape.name+"/"+backend.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mc := analysis.NewClockBackend(backend)
+					for _, e := range events {
+						mc.Timestamp(e)
+					}
+					if err := mc.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(events)), "ns/event")
+				b.ReportMetric(float64(analysis.VectorSize()), "components")
+			})
+		}
 	}
 }
 

@@ -14,6 +14,11 @@
 //
 // Traces are JSON Lines as produced by tracegen (one {"i","t","o","op"}
 // object per line); -trace defaults to stdin.
+//
+// Commands that timestamp events accept -backend {flat|tree} to pick the
+// clock representation: flat (default) is the reference vector, tree is the
+// Mathur et al. tree clock whose joins skip already-dominated subtrees.
+// Timestamps are identical either way; only the cost profile changes.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"mixedclock/internal/detect"
 	"mixedclock/internal/event"
 	"mixedclock/internal/tlog"
+	"mixedclock/internal/vclock"
 )
 
 func main() {
@@ -46,8 +52,13 @@ func main() {
 	fail := fs.Int("fail", -1, "recover: failed event index")
 	out := fs.String("out", "", "export: output .mvclog path")
 	logPath := fs.String("log", "", "inspect: input .mvclog path")
+	backendName := fs.String("backend", "flat", "clock representation: flat or tree")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	backend, err := vclock.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
 	}
 
 	// inspect reads a binary log, not a JSONL trace.
@@ -67,19 +78,19 @@ func main() {
 	case "analyze":
 		err = analyze(os.Stdout, tr)
 	case "timestamp":
-		err = timestamp(os.Stdout, tr, *n)
+		err = timestamp(os.Stdout, tr, *n, backend)
 	case "order":
-		err = order(os.Stdout, tr, *i, *j)
+		err = order(os.Stdout, tr, *i, *j, backend)
 	case "detect":
-		err = detectCmd(os.Stdout, tr)
+		err = detectCmd(os.Stdout, tr, backend)
 	case "recover":
-		err = recover_(os.Stdout, tr, *fail)
+		err = recover_(os.Stdout, tr, *fail, backend)
 	case "validate":
-		err = validate(os.Stdout, tr)
+		err = validate(os.Stdout, tr, backend)
 	case "graph":
 		err = graph(os.Stdout, tr)
 	case "export":
-		err = export(os.Stdout, tr, *out)
+		err = export(os.Stdout, tr, *out, backend)
 	default:
 		usage()
 		os.Exit(2)
@@ -145,9 +156,9 @@ func analyze(w io.Writer, tr *event.Trace) error {
 	return nil
 }
 
-func timestamp(w io.Writer, tr *event.Trace, n int) error {
+func timestamp(w io.Writer, tr *event.Trace, n int, b vclock.Backend) error {
 	a := core.AnalyzeTrace(tr)
-	mc := a.NewClock()
+	mc := a.NewClockBackend(b)
 	stamps := clock.Run(tr, mc)
 	if err := mc.Err(); err != nil {
 		return err
@@ -166,11 +177,11 @@ func timestamp(w io.Writer, tr *event.Trace, n int) error {
 	return nil
 }
 
-func order(w io.Writer, tr *event.Trace, i, j int) error {
+func order(w io.Writer, tr *event.Trace, i, j int, b vclock.Backend) error {
 	if i < 0 || j < 0 || i >= tr.Len() || j >= tr.Len() {
 		return fmt.Errorf("order needs -i and -j in [0, %d)", tr.Len())
 	}
-	stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+	stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClockBackend(b))
 	rel := "concurrent with"
 	switch {
 	case stamps[i].Less(stamps[j]):
@@ -183,8 +194,8 @@ func order(w io.Writer, tr *event.Trace, i, j int) error {
 	return nil
 }
 
-func detectCmd(w io.Writer, tr *event.Trace) error {
-	stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+func detectCmd(w io.Writer, tr *event.Trace, b vclock.Backend) error {
+	stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClockBackend(b))
 	fmt.Fprintf(w, "census: %v\n", detect.TakeCensus(stamps))
 	pairs := detect.ScheduleSensitivePairs(tr)
 	fmt.Fprintf(w, "schedule-sensitive pairs: %d\n", len(pairs))
@@ -198,11 +209,11 @@ func detectCmd(w io.Writer, tr *event.Trace) error {
 	return nil
 }
 
-func recover_(w io.Writer, tr *event.Trace, fail int) error {
+func recover_(w io.Writer, tr *event.Trace, fail int, b vclock.Backend) error {
 	if fail < 0 {
 		return fmt.Errorf("recover needs -fail in [0, %d)", tr.Len())
 	}
-	stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+	stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClockBackend(b))
 	line, err := cut.RecoveryLine(tr, stamps, fail)
 	if err != nil {
 		return err
@@ -216,15 +227,15 @@ func recover_(w io.Writer, tr *event.Trace, fail int) error {
 
 // validate proves every clock scheme correct on the given trace — handy
 // when hand-editing traces or porting logs between versions.
-func validate(w io.Writer, tr *event.Trace) error {
+func validate(w io.Writer, tr *event.Trace, b vclock.Backend) error {
 	analysis := core.AnalyzeTrace(tr)
 	if err := analysis.Verify(); err != nil {
 		return err
 	}
 	schemes := []clock.Timestamper{
-		analysis.NewClock(),
-		core.NewOnlineMixedClock(core.Popularity{}),
-		core.NewOnlineMixedClock(core.NewHybrid()),
+		analysis.NewClockBackend(b),
+		core.NewOnlineMixedClockBackend(core.Popularity{}, b),
+		core.NewOnlineMixedClockBackend(core.NewHybrid(), b),
 		baseline.NewThreadClock(tr.Threads(), tr.Objects()),
 		baseline.NewObjectClock(tr.Threads(), tr.Objects()),
 		baseline.NewChainClock(),
@@ -249,12 +260,12 @@ func graph(w io.Writer, tr *event.Trace) error {
 
 // export timestamps the trace with the optimal mixed clock and writes the
 // binary log.
-func export(w io.Writer, tr *event.Trace, out string) error {
+func export(w io.Writer, tr *event.Trace, out string, b vclock.Backend) error {
 	if out == "" {
 		return fmt.Errorf("export needs -out")
 	}
 	a := core.AnalyzeTrace(tr)
-	mc := a.NewClock()
+	mc := a.NewClockBackend(b)
 	stamps := clock.Run(tr, mc)
 	if err := mc.Err(); err != nil {
 		return err

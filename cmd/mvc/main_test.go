@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
 )
 
 func writeTempTrace(t *testing.T) (string, *event.Trace) {
@@ -72,7 +73,7 @@ func TestAnalyzeOutput(t *testing.T) {
 func TestTimestampOutput(t *testing.T) {
 	_, tr := writeTempTrace(t)
 	var buf bytes.Buffer
-	if err := timestamp(&buf, tr, 2); err != nil {
+	if err := timestamp(&buf, tr, 2, vclock.BackendFlat); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -80,7 +81,7 @@ func TestTimestampOutput(t *testing.T) {
 		t.Errorf("timestamp output:\n%s", out)
 	}
 	buf.Reset()
-	if err := timestamp(&buf, tr, 0); err != nil {
+	if err := timestamp(&buf, tr, 0, vclock.BackendTree); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "more;") {
@@ -91,23 +92,23 @@ func TestTimestampOutput(t *testing.T) {
 func TestOrderOutput(t *testing.T) {
 	_, tr := writeTempTrace(t)
 	var buf bytes.Buffer
-	if err := order(&buf, tr, 0, 1); err != nil {
+	if err := order(&buf, tr, 0, 1, vclock.BackendFlat); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "happened before") {
 		t.Errorf("order output: %s", buf.String())
 	}
 	buf.Reset()
-	if err := order(&buf, tr, 0, 3); err != nil {
+	if err := order(&buf, tr, 0, 3, vclock.BackendTree); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "concurrent") {
 		t.Errorf("order output: %s", buf.String())
 	}
-	if err := order(&buf, tr, -1, 0); err == nil {
+	if err := order(&buf, tr, -1, 0, vclock.BackendFlat); err == nil {
 		t.Error("bad indices accepted")
 	}
-	if err := order(&buf, tr, 0, 99); err == nil {
+	if err := order(&buf, tr, 0, 99, vclock.BackendFlat); err == nil {
 		t.Error("out-of-range index accepted")
 	}
 }
@@ -115,7 +116,7 @@ func TestOrderOutput(t *testing.T) {
 func TestDetectOutput(t *testing.T) {
 	_, tr := writeTempTrace(t)
 	var buf bytes.Buffer
-	if err := detectCmd(&buf, tr); err != nil {
+	if err := detectCmd(&buf, tr, vclock.BackendFlat); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "census:") {
@@ -126,13 +127,13 @@ func TestDetectOutput(t *testing.T) {
 func TestRecoverOutput(t *testing.T) {
 	_, tr := writeTempTrace(t)
 	var buf bytes.Buffer
-	if err := recover_(&buf, tr, 0); err != nil {
+	if err := recover_(&buf, tr, 0, vclock.BackendFlat); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "recovery line") {
 		t.Errorf("recover output: %s", buf.String())
 	}
-	if err := recover_(&buf, tr, -1); err == nil {
+	if err := recover_(&buf, tr, -1, vclock.BackendFlat); err == nil {
 		t.Error("missing -fail accepted")
 	}
 }
@@ -140,7 +141,7 @@ func TestRecoverOutput(t *testing.T) {
 func TestValidateOutput(t *testing.T) {
 	_, tr := writeTempTrace(t)
 	var buf bytes.Buffer
-	if err := validate(&buf, tr); err != nil {
+	if err := validate(&buf, tr, vclock.BackendFlat); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -169,7 +170,7 @@ func TestExportInspectRoundTrip(t *testing.T) {
 	_, tr := writeTempTrace(t)
 	logPath := filepath.Join(t.TempDir(), "t.mvclog")
 	var buf bytes.Buffer
-	if err := export(&buf, tr, logPath); err != nil {
+	if err := export(&buf, tr, logPath, vclock.BackendFlat); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "wrote 5 timestamped events") {
@@ -183,7 +184,7 @@ func TestExportInspectRoundTrip(t *testing.T) {
 		t.Errorf("inspect output: %s", buf.String())
 	}
 
-	if err := export(&buf, tr, ""); err == nil {
+	if err := export(&buf, tr, "", vclock.BackendFlat); err == nil {
 		t.Error("export without -out accepted")
 	}
 	if err := inspect(&buf, "", 0); err == nil {
@@ -196,7 +197,7 @@ func TestInspectTruncatedLog(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "t.mvclog")
 	var buf bytes.Buffer
-	if err := export(&buf, tr, logPath); err != nil {
+	if err := export(&buf, tr, logPath, vclock.BackendFlat); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(logPath)

@@ -1,0 +1,3 @@
+module mixedclock
+
+go 1.24

@@ -108,3 +108,25 @@ func RunAndValidate(tr *event.Trace, ts Timestamper) ([]vclock.Vector, error) {
 	}
 	return stamps, nil
 }
+
+// Equivalent checks that two stamp sequences for the same computation induce
+// the same ordering verdict on every event pair — the contract between clock
+// backends: representations may differ, happened-before may not. It returns
+// nil when the sequences agree, or an error naming the first divergent pair.
+//
+// Cost is O(E² · k); use on test-sized traces.
+func Equivalent(a, b []vclock.Vector, schemeA, schemeB string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("clock: %s has %d stamps, %s has %d", schemeA, len(a), schemeB, len(b))
+	}
+	for i := range a {
+		for j := i + 1; j < len(a); j++ {
+			ra, rb := a[i].Compare(a[j]), b[i].Compare(b[j])
+			if ra != rb {
+				return fmt.Errorf("clock: events %d vs %d: %s orders them %v (%v, %v) but %s orders them %v (%v, %v)",
+					i, j, schemeA, ra, a[i], a[j], schemeB, rb, b[i], b[j])
+			}
+		}
+	}
+	return nil
+}

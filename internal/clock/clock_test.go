@@ -131,3 +131,18 @@ func TestRunAndValidate(t *testing.T) {
 		t.Fatal("stamps not returned alongside error")
 	}
 }
+
+func TestEquivalent(t *testing.T) {
+	a := []vclock.Vector{{1, 0}, {1, 1}, {2, 1}}
+	b := []vclock.Vector{{1, 0, 0}, {1, 1, 0}, {2, 1, 0}} // trailing zeros are immaterial
+	if err := Equivalent(a, b, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(a, a[:2], "a", "short"); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	c := []vclock.Vector{{1, 0}, {0, 1}, {2, 1}} // 0 and 1 now concurrent
+	if err := Equivalent(a, c, "a", "c"); err == nil {
+		t.Fatal("divergent verdicts accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/clock"
+	"mixedclock/internal/trace"
+	"mixedclock/internal/vclock"
+)
+
+// TestBackendEquivalence replays seeded generator traces through the flat
+// and tree backends — offline over the optimal cover and online under both
+// recommended mechanisms — and requires the two representations to agree on
+// every event pair's verdict. Stamps must in fact be identical vectors: the
+// backends implement the same algebra, so this asserts exact equality first
+// and the (implied) Compare/Less/Concurrent agreement with clock.Equivalent
+// as the property the rest of the system depends on.
+func TestBackendEquivalence(t *testing.T) {
+	cfg := trace.Config{Threads: 12, Objects: 12, Events: 250}
+	for _, w := range trace.Workloads() {
+		for seed := int64(1); seed <= 3; seed++ {
+			tr, err := trace.Generate(w, cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", w, seed, err)
+			}
+			analysis := AnalyzeTrace(tr)
+			schemes := []struct {
+				name string
+				make func(b vclock.Backend) clock.Timestamper
+			}{
+				{"offline", func(b vclock.Backend) clock.Timestamper { return analysis.NewClockBackend(b) }},
+				{"online/hybrid", func(b vclock.Backend) clock.Timestamper { return NewOnlineMixedClockBackend(NewHybrid(), b) }},
+				{"online/popularity", func(b vclock.Backend) clock.Timestamper { return NewOnlineMixedClockBackend(Popularity{}, b) }},
+			}
+			for _, s := range schemes {
+				flat := clock.Run(tr, s.make(vclock.BackendFlat))
+				tree := clock.Run(tr, s.make(vclock.BackendTree))
+				for i := range flat {
+					if !flat[i].Equal(tree[i]) {
+						t.Fatalf("%v seed %d %s: event %d stamped %v by flat, %v by tree",
+							w, seed, s.name, i, flat[i], tree[i])
+					}
+				}
+				if err := clock.Equivalent(flat, tree, s.name+"/flat", s.name+"/tree"); err != nil {
+					t.Fatalf("%v seed %d: %v", w, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTreeBackendValid proves the tree backend against the ground-truth
+// happened-before oracle directly (Theorem 2), not only against the flat
+// backend, on a small trace per workload.
+func TestTreeBackendValid(t *testing.T) {
+	cfg := trace.Config{Threads: 6, Objects: 6, Events: 80}
+	for _, w := range trace.Workloads() {
+		tr, err := trace.Generate(w, cfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		mc := AnalyzeTrace(tr).NewClockBackend(vclock.BackendTree)
+		if _, err := clock.RunAndValidate(tr, mc); err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if mc.Err() != nil {
+			t.Fatalf("%v: %v", w, mc.Err())
+		}
+		oc := NewOnlineMixedClockBackend(NewHybrid(), vclock.BackendTree)
+		if _, err := clock.RunAndValidate(tr, oc); err != nil {
+			t.Fatalf("%v online: %v", w, err)
+		}
+	}
+}
+
+func TestBackendAccessors(t *testing.T) {
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(0))
+	mc := NewMixedClockBackend(comps, vclock.BackendTree)
+	if mc.Backend() != vclock.BackendTree {
+		t.Fatalf("Backend = %v", mc.Backend())
+	}
+	if mc.Name() != "mixed/offline+tree" {
+		t.Fatalf("Name = %q", mc.Name())
+	}
+	if NewMixedClock(comps).Name() != "mixed/offline" {
+		t.Fatal("flat Name changed")
+	}
+	oc := NewOnlineMixedClockBackend(Popularity{}, vclock.BackendTree)
+	if oc.Backend() != vclock.BackendTree || oc.Name() != "mixed/online/popularity+tree" {
+		t.Fatalf("online backend accessors wrong: %v %q", oc.Backend(), oc.Name())
+	}
+	if got := NewOnlineMixedClock(Popularity{}).Name(); got != "mixed/online/popularity" {
+		t.Fatalf("flat online Name changed: %q", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mixedclock/internal/event"
+	"mixedclock/internal/treeclock"
 	"mixedclock/internal/vclock"
 )
 
@@ -19,37 +20,69 @@ import (
 // guarantees this), the result is a valid vector clock of optimal size
 // (Theorems 2 and 3).
 //
+// The per-thread and per-object clock state is held behind vclock.Clock, so
+// the representation is pluggable: the flat reference backend pays O(k) per
+// event, while the tree backend (internal/treeclock) pays only for the
+// components each join actually changes. Both produce identical timestamps.
+//
 // MixedClock is not safe for concurrent use; package track wraps it for live
 // goroutines.
 type MixedClock struct {
 	comps   *ComponentSet
-	threads map[event.ThreadID]vclock.Vector
-	objects map[event.ObjectID]vclock.Vector
+	backend vclock.Backend
+	threads map[event.ThreadID]vclock.Clock
+	objects map[event.ObjectID]vclock.Clock
 	err     error
 	events  int
 }
 
-// NewMixedClock returns a clock over the given components. The set may be
-// grown behind the clock's back (the online tracker does exactly that);
-// vectors expand on demand.
+// NewMixedClock returns a clock over the given components, using the flat
+// backend. The set may be grown behind the clock's back (the online tracker
+// does exactly that); vectors expand on demand.
 func NewMixedClock(comps *ComponentSet) *MixedClock {
+	return NewMixedClockBackend(comps, vclock.BackendFlat)
+}
+
+// NewMixedClockBackend is NewMixedClock with an explicit clock
+// representation.
+func NewMixedClockBackend(comps *ComponentSet, backend vclock.Backend) *MixedClock {
 	return &MixedClock{
 		comps:   comps,
-		threads: make(map[event.ThreadID]vclock.Vector),
-		objects: make(map[event.ObjectID]vclock.Vector),
+		backend: backend,
+		threads: make(map[event.ThreadID]vclock.Clock),
+		objects: make(map[event.ObjectID]vclock.Clock),
 	}
 }
 
-// Timestamp implements clock.Timestamper.
+// NewBackendClock returns an empty clock in the configured representation.
+func NewBackendClock(b vclock.Backend) vclock.Clock {
+	if b == vclock.BackendTree {
+		return treeclock.New(0)
+	}
+	return vclock.NewFlat(0)
+}
+
+// Timestamp implements clock.Timestamper. The thread's clock is the mutable
+// master: it absorbs the object's clock, ticks the covered endpoints, and the
+// object's clock then re-absorbs the result — in-place joins at both steps,
+// which is where the tree backend's subtree pruning pays off.
 func (c *MixedClock) Timestamp(e event.Event) vclock.Vector {
-	v := c.threads[e.Thread].Merge(c.objects[e.Object])
+	tv := c.threads[e.Thread]
+	if tv == nil {
+		tv = NewBackendClock(c.backend)
+		c.threads[e.Thread] = tv
+	}
+	ov := c.objects[e.Object]
+	if ov != nil {
+		tv.Join(ov)
+	}
 	ticked := false
 	if i, ok := c.comps.IndexOf(ObjectComponent(e.Object)); ok {
-		v = v.Tick(i)
+		tv.Tick(i)
 		ticked = true
 	}
 	if i, ok := c.comps.IndexOf(ThreadComponent(e.Thread)); ok {
-		v = v.Tick(i)
+		tv.Tick(i)
 		ticked = true
 	}
 	if !ticked && c.err == nil {
@@ -62,11 +95,16 @@ func (c *MixedClock) Timestamp(e event.Event) vclock.Vector {
 	// Grow to the full current width so printed stamps align (the paper's
 	// Fig. 3 shows fixed-width vectors); comparisons are width-agnostic
 	// either way.
-	v = v.Grow(c.comps.Len())
-	c.threads[e.Thread] = v
-	c.objects[e.Object] = v
+	tv.Grow(c.comps.Len())
+	if ov == nil {
+		ov = NewBackendClock(c.backend)
+		c.objects[e.Object] = ov
+	}
+	// tv dominates ov (it just joined it), so this join makes ov equal to
+	// the event clock; for the tree backend it copies only what changed.
+	ov.Join(tv)
 	c.events++
-	return v.Clone()
+	return tv.Flatten()
 }
 
 // Components implements clock.Timestamper.
@@ -75,8 +113,16 @@ func (c *MixedClock) Components() int { return c.comps.Len() }
 // ComponentSet returns the clock's component set (shared, not a copy).
 func (c *MixedClock) ComponentSet() *ComponentSet { return c.comps }
 
+// Backend returns the clock representation in use.
+func (c *MixedClock) Backend() vclock.Backend { return c.backend }
+
 // Name implements clock.Timestamper.
-func (c *MixedClock) Name() string { return "mixed/offline" }
+func (c *MixedClock) Name() string {
+	if c.backend == vclock.BackendFlat {
+		return "mixed/offline"
+	}
+	return "mixed/offline+" + c.backend.String()
+}
 
 // Events returns how many events have been timestamped.
 func (c *MixedClock) Events() int { return c.events }
@@ -88,10 +134,16 @@ func (c *MixedClock) Err() error { return c.err }
 
 // ThreadVector returns a copy of the current vector held by thread t.
 func (c *MixedClock) ThreadVector(t event.ThreadID) vclock.Vector {
-	return c.threads[t].Clone()
+	if v := c.threads[t]; v != nil {
+		return v.Flatten()
+	}
+	return nil
 }
 
 // ObjectVector returns a copy of the current vector held by object o.
 func (c *MixedClock) ObjectVector(o event.ObjectID) vclock.Vector {
-	return c.objects[o].Clone()
+	if v := c.objects[o]; v != nil {
+		return v.Flatten()
+	}
+	return nil
 }

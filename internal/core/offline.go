@@ -6,6 +6,7 @@ import (
 	"mixedclock/internal/bipartite"
 	"mixedclock/internal/event"
 	"mixedclock/internal/matching"
+	"mixedclock/internal/vclock"
 )
 
 // Analysis is the product of the offline algorithm (Algorithm 1) on one
@@ -44,6 +45,11 @@ func AnalyzeTrace(tr *event.Trace) *Analysis {
 // computation whose graph is a subgraph of the analyzed one).
 func (a *Analysis) NewClock() *MixedClock {
 	return NewMixedClock(a.Components)
+}
+
+// NewClockBackend is NewClock with an explicit clock representation.
+func (a *Analysis) NewClockBackend(b vclock.Backend) *MixedClock {
+	return NewMixedClockBackend(a.Components, b)
 }
 
 // VectorSize returns the size of the optimal mixed vector clock.

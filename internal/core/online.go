@@ -93,12 +93,19 @@ type OnlineMixedClock struct {
 	clock   *MixedClock
 }
 
-// NewOnlineMixedClock returns an online clock driven by mech.
+// NewOnlineMixedClock returns an online clock driven by mech, using the flat
+// clock representation.
 func NewOnlineMixedClock(mech Mechanism) *OnlineMixedClock {
+	return NewOnlineMixedClockBackend(mech, vclock.BackendFlat)
+}
+
+// NewOnlineMixedClockBackend is NewOnlineMixedClock with an explicit clock
+// representation.
+func NewOnlineMixedClockBackend(mech Mechanism, backend vclock.Backend) *OnlineMixedClock {
 	tracker := NewCoverTracker(mech)
 	return &OnlineMixedClock{
 		tracker: tracker,
-		clock:   NewMixedClock(tracker.Components()),
+		clock:   NewMixedClockBackend(tracker.Components(), backend),
 	}
 }
 
@@ -113,8 +120,15 @@ func (c *OnlineMixedClock) Components() int { return c.tracker.Size() }
 
 // Name implements clock.Timestamper.
 func (c *OnlineMixedClock) Name() string {
-	return "mixed/online/" + c.tracker.mech.Name()
+	name := "mixed/online/" + c.tracker.mech.Name()
+	if b := c.clock.Backend(); b != vclock.BackendFlat {
+		name += "+" + b.String()
+	}
+	return name
 }
+
+// Backend returns the clock representation in use.
+func (c *OnlineMixedClock) Backend() vclock.Backend { return c.clock.Backend() }
 
 // Tracker exposes the underlying cover tracker.
 func (c *OnlineMixedClock) Tracker() *CoverTracker { return c.tracker }

@@ -54,7 +54,7 @@ func (t *Tracker) Compact() (epoch, size int, err error) {
 		return 0, 0, fmt.Errorf("track: compaction: %w", err)
 	}
 	t.cover = seeded
-	t.clock = core.NewMixedClock(seeded.Components())
+	t.clock = core.NewMixedClockBackend(seeded.Components(), t.backend)
 	t.epoch++
 	t.epochStart = append(t.epochStart, t.trace.Len())
 	return t.epoch, seeded.Size(), nil

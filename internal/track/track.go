@@ -46,6 +46,7 @@ type Tracker struct {
 	mu      sync.Mutex
 	cover   *core.CoverTracker
 	clock   *core.MixedClock
+	backend vclock.Backend
 	trace   *event.Trace
 	stamps  []vclock.Vector
 	threads []*Thread
@@ -63,7 +64,8 @@ type Tracker struct {
 type Option func(*options)
 
 type options struct {
-	mech core.Mechanism
+	mech    core.Mechanism
+	backend vclock.Backend
 }
 
 // WithMechanism selects the online component-choice mechanism (default: the
@@ -73,17 +75,26 @@ func WithMechanism(m core.Mechanism) Option {
 	return func(o *options) { o.mech = m }
 }
 
+// WithBackend selects the clock representation (default: the flat vector).
+// The tree backend trades slightly richer bookkeeping for joins that cost
+// only as much as the components they change; timestamps are identical
+// either way. The choice survives Compact.
+func WithBackend(b vclock.Backend) Option {
+	return func(o *options) { o.backend = b }
+}
+
 // NewTracker returns an empty tracker.
 func NewTracker(opts ...Option) *Tracker {
-	o := options{mech: core.NewHybrid()}
+	o := options{mech: core.NewHybrid(), backend: vclock.BackendFlat}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	cover := core.NewCoverTracker(o.mech)
 	return &Tracker{
-		cover: cover,
-		clock: core.NewMixedClock(cover.Components()),
-		trace: event.NewTrace(),
+		cover:   cover,
+		clock:   core.NewMixedClockBackend(cover.Components(), o.backend),
+		backend: o.backend,
+		trace:   event.NewTrace(),
 	}
 }
 
@@ -178,6 +189,9 @@ func (t *Tracker) commit(tid event.ThreadID, oid event.ObjectID, op event.Op) St
 	t.stamps = append(t.stamps, v)
 	return Stamped{Event: e, Vector: v, Epoch: t.epoch}
 }
+
+// Backend returns the clock representation the tracker was built with.
+func (t *Tracker) Backend() vclock.Backend { return t.backend }
 
 // Size returns the current vector-clock size (number of components).
 func (t *Tracker) Size() int {

@@ -1,0 +1,333 @@
+// Package treeclock implements the tree clock of Mathur, Tunç, Pavlogiannis
+// & Viswanathan, "A Tree Clock Data Structure for Causal Orderings in
+// Concurrent Executions" (PLDI 2022), adapted to the mixed component space of
+// Zheng & Garg: components are vertices of the minimum vertex cover (threads
+// or objects), not only threads.
+//
+// A TreeClock stores the same map from component index to logical time as a
+// flat vclock.Vector, but arranges the components in a forest that mirrors
+// how the values were learned: each node's subtree holds only knowledge its
+// component possessed at the node's recorded time, and each node's children
+// are ordered by attachment time, most recent first. Those two invariants
+// let Join prune aggressively:
+//
+//   - a subtree whose root time is already known to the receiver is skipped
+//     wholesale (the receiver transitively learned everything below it), and
+//   - sibling scans stop at the first child attached no later than the
+//     receiver's knowledge of the parent (all remaining siblings are older).
+//
+// On workloads with causal locality — re-acquiring an object you already
+// dominate, deep chains over a wide but quiescent component set — joins cost
+// O(#components that actually changed) instead of O(k).
+//
+// The soundness of both prunings rests on the discipline enforced by
+// internal/core's MixedClock: a component's time is advanced (Tick) only by
+// the clock that has just joined the component's previous full state, so any
+// clock holding component c at time x dominates everything c knew at x.
+// TreeClock is not meant for arbitrary tick/join interleavings outside that
+// discipline.
+package treeclock
+
+import (
+	"mixedclock/internal/vclock"
+)
+
+const none = int32(-1)
+
+// node is the tree bookkeeping for one component. Components are dense
+// indices, so nodes live in a slice parallel to the clock values; sibling
+// lists are doubly linked through prev/next, children ordered by aclk
+// descending (most recently attached first).
+type node struct {
+	// aclk is the parent's clock value when this node was last attached —
+	// the "attachment time" that drives sibling-scan pruning. Meaningless
+	// for roots.
+	aclk   uint64
+	parent int32
+	head   int32 // first (most recently attached) child
+	prev   int32
+	next   int32
+}
+
+// TreeClock is a tree-structured vector timestamp over the mixed component
+// space. The zero value is not usable; call New. A component is present in
+// the forest exactly when its clock value is nonzero.
+//
+// TreeClock mutates in place (Tick, Join, Grow) and is not safe for
+// concurrent use.
+type TreeClock struct {
+	clks  []uint64
+	nodes []node
+	// roots holds the top-level nodes. Tick consolidates the forest under
+	// the ticked component, so between events there is normally a single
+	// root: the component that ticked last.
+	roots []int32
+	// marks is scratch space for Join's two-phase update, retained across
+	// calls to avoid per-join allocation.
+	marks []mark
+}
+
+var _ vclock.Clock = (*TreeClock)(nil)
+
+// New returns an empty tree clock with width n (all components zero).
+func New(n int) *TreeClock {
+	tc := &TreeClock{}
+	tc.Grow(n)
+	return tc
+}
+
+// FromVector builds a tree clock holding the same component values as v.
+// The flat form carries no learning history, so every nonzero component
+// starts as its own root: sound (no pruning is promised) and rebuilt into a
+// deeper shape by subsequent ticks and joins. This is the codec hook's
+// decode half; Flatten is the encode half.
+func FromVector(v vclock.Vector) *TreeClock {
+	tc := New(len(v))
+	copy(tc.clks, v)
+	for i, x := range tc.clks {
+		if x > 0 {
+			tc.roots = append(tc.roots, int32(i))
+		}
+	}
+	return tc
+}
+
+// Grow implements vclock.Clock.
+func (tc *TreeClock) Grow(n int) {
+	old := len(tc.clks)
+	if n <= old {
+		return
+	}
+	if n <= cap(tc.clks) && n <= cap(tc.nodes) {
+		tc.clks = tc.clks[:n]
+		tc.nodes = tc.nodes[:n]
+	} else {
+		// One reallocation with doubling, not an append per component.
+		c := 2 * old
+		if c < n {
+			c = n
+		}
+		clks := make([]uint64, n, c)
+		copy(clks, tc.clks)
+		tc.clks = clks
+		nodes := make([]node, n, c)
+		copy(nodes, tc.nodes)
+		tc.nodes = nodes
+	}
+	for i := old; i < n; i++ {
+		tc.nodes[i] = node{parent: none, head: none, prev: none, next: none}
+	}
+}
+
+// Width implements vclock.Clock.
+func (tc *TreeClock) Width() int { return len(tc.clks) }
+
+// At implements vclock.Clock.
+func (tc *TreeClock) At(i int) uint64 {
+	if i < 0 || i >= len(tc.clks) {
+		return 0
+	}
+	return tc.clks[i]
+}
+
+// Tick implements vclock.Clock: it increments component i and re-roots the
+// forest at it. The event being stamped is exactly what component i knows at
+// its new time, so the whole forest — previous roots included — re-attaches
+// under i with the new time as attachment time. Re-rooting is O(1 + roots),
+// not O(depth): the old root keeps its subtree and simply becomes i's most
+// recent child.
+func (tc *TreeClock) Tick(i int) {
+	tc.Grow(i + 1)
+	c := int32(i)
+	if tc.clks[i] > 0 {
+		tc.detach(c)
+	}
+	tc.clks[i]++
+	for _, r := range tc.roots {
+		tc.attachFront(r, c, tc.clks[i])
+	}
+	tc.roots = append(tc.roots[:0], c)
+}
+
+// Join implements vclock.Clock: the receiver becomes the componentwise
+// maximum of itself and other. When other is a *TreeClock the update walks
+// other's forest, pruning dominated subtrees and stale sibling tails; the
+// cost is proportional to the number of components whose value actually
+// increases (plus the pruned frontier), not to the clock width.
+func (tc *TreeClock) Join(other vclock.Clock) {
+	o, ok := other.(*TreeClock)
+	if !ok {
+		tc.joinGeneric(other)
+		return
+	}
+	if o == tc {
+		return
+	}
+	// Phase 1: mark the nodes of o that beat tc, using tc's pre-join
+	// values throughout (the sibling break compares against what tc knew
+	// of the parent before this join).
+	marks := tc.marks[:0]
+	for _, r := range o.roots {
+		if o.clks[r] > tc.At(int(r)) {
+			marks = tc.mark(o, r, none, marks)
+		}
+	}
+	tc.marks = marks // retain scratch even on early return
+	if len(marks) == 0 {
+		return
+	}
+	tc.Grow(o.Width())
+	// Phase 2a: detach every marked component from tc's forest and adopt
+	// the new value. All detaches happen before any attach so that
+	// re-homing a node under what used to be its own descendant cannot
+	// form a cycle — the descendant, being marked too, has already been
+	// pulled out.
+	for _, m := range marks {
+		if tc.clks[m.comp] > 0 {
+			tc.detach(m.comp)
+		}
+		tc.clks[m.comp] = m.clk
+	}
+	// Phase 2b: re-attach following o's structure, in reverse mark order.
+	// Reversal attaches later (lower-aclk) siblings first, so each parent's
+	// new children end up front-most in attachment order, preserving the
+	// aclk-descending sibling invariant.
+	for i := len(marks) - 1; i >= 0; i-- {
+		m := marks[i]
+		if m.parent == none {
+			tc.roots = append(tc.roots, m.comp)
+		} else {
+			tc.attachFront(m.comp, marks[m.parent].comp, m.aclk)
+		}
+	}
+}
+
+// mark records one component to copy during Join: its value and attachment
+// time in the source forest, and the index of its parent's mark (none for
+// source roots).
+type mark struct {
+	comp   int32
+	clk    uint64
+	aclk   uint64
+	parent int32
+}
+
+// mark walks the subtree of o rooted at u (already known to beat tc),
+// appending marks in preorder. Children are scanned most-recent-first;
+// the scan stops early at a child attached no later than tc's pre-join
+// knowledge of u — every remaining sibling was attached earlier still, so
+// their subtrees were part of what tc already absorbed from u.
+func (tc *TreeClock) mark(o *TreeClock, u, parentIdx int32, marks []mark) []mark {
+	idx := int32(len(marks))
+	marks = append(marks, mark{comp: u, clk: o.clks[u], aclk: o.nodes[u].aclk, parent: parentIdx})
+	uKnown := tc.At(int(u))
+	for v := o.nodes[u].head; v != none; v = o.nodes[v].next {
+		if o.clks[v] > tc.At(int(v)) {
+			marks = tc.mark(o, v, idx, marks)
+		} else if o.nodes[v].aclk <= uKnown {
+			break
+		}
+	}
+	return marks
+}
+
+// joinGeneric folds any Clock implementation into tc through the interface.
+// Raised components keep their retained subtrees (still sound: a component's
+// old subtree is within its old, hence new, knowledge) but become roots —
+// no cross-backend learning history exists to place them deeper.
+func (tc *TreeClock) joinGeneric(other vclock.Clock) {
+	n := other.Width()
+	tc.Grow(n)
+	for i := 0; i < n; i++ {
+		x := other.At(i)
+		if x <= tc.clks[i] {
+			continue
+		}
+		c := int32(i)
+		if tc.clks[i] > 0 {
+			tc.detach(c)
+		}
+		tc.clks[i] = x
+		tc.roots = append(tc.roots, c)
+	}
+}
+
+// Compare implements vclock.Clock.
+func (tc *TreeClock) Compare(other vclock.Clock) vclock.Ordering {
+	o, ok := other.(*TreeClock)
+	if !ok {
+		return vclock.CompareClocks(tc, other)
+	}
+	return vclock.Vector(tc.clks).Compare(vclock.Vector(o.clks))
+}
+
+// Less implements vclock.Clock.
+func (tc *TreeClock) Less(other vclock.Clock) bool { return tc.Compare(other) == vclock.Before }
+
+// Concurrent implements vclock.Clock.
+func (tc *TreeClock) Concurrent(other vclock.Clock) bool {
+	return tc.Compare(other) == vclock.Concurrent
+}
+
+// Clone implements vclock.Clock.
+func (tc *TreeClock) Clone() vclock.Clock {
+	c := &TreeClock{
+		clks:  append([]uint64(nil), tc.clks...),
+		nodes: append([]node(nil), tc.nodes...),
+		roots: append([]int32(nil), tc.roots...),
+	}
+	return c
+}
+
+// Flatten implements vclock.Clock: the flat wire form, independent of the
+// receiver.
+func (tc *TreeClock) Flatten() vclock.Vector {
+	return vclock.Vector(tc.clks).Clone()
+}
+
+// AppendBinary implements vclock.Clock. The encoding is the canonical flat
+// one, so logs written from a tree clock are byte-identical to flat ones.
+func (tc *TreeClock) AppendBinary(dst []byte) []byte {
+	return vclock.Vector(tc.clks).AppendBinary(dst)
+}
+
+// String renders the clock like its flat vector.
+func (tc *TreeClock) String() string { return vclock.Vector(tc.clks).String() }
+
+// detach removes component c (with its subtree) from its parent's child list,
+// or from the root list when top-level.
+func (tc *TreeClock) detach(c int32) {
+	n := &tc.nodes[c]
+	if n.parent == none {
+		for i, r := range tc.roots {
+			if r == c {
+				tc.roots = append(tc.roots[:i], tc.roots[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	if n.prev == none {
+		tc.nodes[n.parent].head = n.next
+	} else {
+		tc.nodes[n.prev].next = n.next
+	}
+	if n.next != none {
+		tc.nodes[n.next].prev = n.prev
+	}
+	n.parent, n.prev, n.next = none, none, none
+}
+
+// attachFront links child as the first (most recent) child of parent with the
+// given attachment time. The child must currently be detached.
+func (tc *TreeClock) attachFront(child, parent int32, aclk uint64) {
+	n := &tc.nodes[child]
+	n.parent = parent
+	n.aclk = aclk
+	n.prev = none
+	n.next = tc.nodes[parent].head
+	if n.next != none {
+		tc.nodes[n.next].prev = child
+	}
+	tc.nodes[parent].head = child
+}

@@ -1,0 +1,303 @@
+package treeclock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/vclock"
+)
+
+// checkInvariants verifies the structural invariants the join prunings rely
+// on: link consistency, every nonzero component reachable exactly once from
+// the roots, attachment times bounded by the parent's clock, and sibling
+// lists ordered by attachment time, most recent first.
+func checkInvariants(tc *TreeClock) error {
+	if len(tc.clks) != len(tc.nodes) {
+		return fmt.Errorf("width mismatch: %d clks, %d nodes", len(tc.clks), len(tc.nodes))
+	}
+	seen := make(map[int32]bool)
+	var walk func(u int32) error
+	walk = func(u int32) error {
+		if seen[u] {
+			return fmt.Errorf("component %d reached twice", u)
+		}
+		seen[u] = true
+		if tc.clks[u] == 0 {
+			return fmt.Errorf("component %d in forest with zero clock", u)
+		}
+		var prevSib = none
+		var prevAclk uint64
+		for v := tc.nodes[u].head; v != none; v = tc.nodes[v].next {
+			n := tc.nodes[v]
+			if n.parent != u {
+				return fmt.Errorf("component %d in child list of %d but parent is %d", v, u, n.parent)
+			}
+			if n.prev != prevSib {
+				return fmt.Errorf("component %d has prev %d, want %d", v, n.prev, prevSib)
+			}
+			if n.aclk > tc.clks[u] {
+				return fmt.Errorf("component %d attached to %d at time %d > parent clock %d",
+					v, u, n.aclk, tc.clks[u])
+			}
+			if prevSib != none && n.aclk > prevAclk {
+				return fmt.Errorf("children of %d not ordered by attachment time: %d after %d",
+					u, n.aclk, prevAclk)
+			}
+			prevSib, prevAclk = v, n.aclk
+			if err := walk(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range tc.roots {
+		if tc.nodes[r].parent != none {
+			return fmt.Errorf("root %d has parent %d", r, tc.nodes[r].parent)
+		}
+		if err := walk(r); err != nil {
+			return err
+		}
+	}
+	for i, x := range tc.clks {
+		if (x > 0) != seen[int32(i)] {
+			return fmt.Errorf("component %d: clock %d but reachable=%v", i, x, seen[int32(i)])
+		}
+	}
+	return nil
+}
+
+func requireFlat(t *testing.T, tc *TreeClock, want vclock.Vector, msg string) {
+	t.Helper()
+	got := tc.Flatten()
+	if !got.Equal(want) {
+		t.Fatalf("%s: flatten %v, want %v", msg, got, want)
+	}
+	if err := checkInvariants(tc); err != nil {
+		t.Fatalf("%s: %v", msg, err)
+	}
+}
+
+func TestTickAndFlatten(t *testing.T) {
+	tc := New(0)
+	requireFlat(t, tc, nil, "empty")
+	tc.Tick(2)
+	requireFlat(t, tc, vclock.Vector{0, 0, 1}, "tick 2")
+	tc.Tick(2)
+	tc.Tick(0)
+	requireFlat(t, tc, vclock.Vector{1, 0, 2}, "tick 2, 0")
+	if tc.At(1) != 0 || tc.At(2) != 2 || tc.At(99) != 0 {
+		t.Fatalf("At values wrong: %v", tc.Flatten())
+	}
+	if tc.Width() != 3 {
+		t.Fatalf("Width = %d, want 3", tc.Width())
+	}
+}
+
+func TestJoinBasic(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Tick(0)
+	a.Tick(1)
+	b.Tick(2)
+	b.Tick(2)
+	a.Join(b)
+	requireFlat(t, a, vclock.Vector{1, 1, 2}, "a after join")
+	requireFlat(t, b, vclock.Vector{0, 0, 2}, "b untouched by join")
+	// Joining a dominated clock changes nothing.
+	b.Join(New(5))
+	requireFlat(t, b, vclock.Vector{0, 0, 2, 0, 0}, "b after joining empty")
+	// Self-join is a no-op.
+	a.Join(a)
+	requireFlat(t, a, vclock.Vector{1, 1, 2}, "self join")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(0)
+	a.Tick(0)
+	a.Tick(3)
+	c := a.Clone().(*TreeClock)
+	c.Tick(1)
+	a.Tick(0)
+	requireFlat(t, a, vclock.Vector{2, 0, 0, 1}, "original")
+	requireFlat(t, c, vclock.Vector{1, 1, 0, 1}, "clone")
+}
+
+func TestFromVectorRoundTrip(t *testing.T) {
+	for _, v := range []vclock.Vector{nil, {}, {0, 0, 3}, {1, 2, 3, 0, 5}, {7}} {
+		tc := FromVector(v)
+		if err := checkInvariants(tc); err != nil {
+			t.Fatalf("FromVector(%v): %v", v, err)
+		}
+		if got := tc.Flatten(); !got.Equal(v) {
+			t.Fatalf("FromVector(%v).Flatten() = %v", v, got)
+		}
+		// The rebuilt clock must stay usable.
+		tc.Tick(1)
+		want := v.Clone().Tick(1)
+		requireFlat(t, tc, want, fmt.Sprintf("tick after FromVector(%v)", v))
+	}
+}
+
+func TestCompareMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := make([]vclock.Vector, 40)
+	for i := range vecs {
+		v := make(vclock.Vector, rng.Intn(6))
+		for j := range v {
+			v[j] = uint64(rng.Intn(4))
+		}
+		vecs[i] = v
+	}
+	for _, v := range vecs {
+		for _, w := range vecs {
+			want := v.Compare(w)
+			tv, tw := FromVector(v), FromVector(w)
+			if got := tv.Compare(tw); got != want {
+				t.Fatalf("tree %v vs tree %v: %v, want %v", v, w, got, want)
+			}
+			if got := tv.Compare(vclock.FlatOf(w)); got != want {
+				t.Fatalf("tree %v vs flat %v: %v, want %v", v, w, got, want)
+			}
+			if got := vclock.FlatOf(v).Compare(tw); got != want {
+				t.Fatalf("flat %v vs tree %v: %v, want %v", v, w, got, want)
+			}
+			if tv.Less(tw) != (want == vclock.Before) || tv.Concurrent(tw) != (want == vclock.Concurrent) {
+				t.Fatalf("Less/Concurrent disagree with Compare for %v vs %v", v, w)
+			}
+		}
+	}
+}
+
+// TestMixedClockDiscipline is the differential core: it drives flat and tree
+// twins through the exact per-event sequence internal/core's MixedClock
+// uses — thread joins object, covered endpoints tick, object re-joins the
+// event clock — over random traces and random covers, asserting the two
+// representations flatten identically after every event and that the tree
+// invariants never break.
+func TestMixedClockDiscipline(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nThreads := 2 + rng.Intn(6)
+		nObjects := 2 + rng.Intn(6)
+		events := 200
+
+		// Random component assignment: comp index per thread/object, -1
+		// when not in the cover. Not necessarily a real vertex cover —
+		// uncovered events simply tick nothing, which both backends must
+		// agree on too.
+		threadComp := make([]int, nThreads)
+		objectComp := make([]int, nObjects)
+		next := 0
+		for i := range threadComp {
+			threadComp[i] = -1
+			if rng.Intn(3) > 0 {
+				threadComp[i] = next
+				next++
+			}
+		}
+		for i := range objectComp {
+			objectComp[i] = -1
+			if rng.Intn(3) > 0 {
+				objectComp[i] = next
+				next++
+			}
+		}
+
+		flatT := make([]*vclock.Flat, nThreads)
+		flatO := make([]*vclock.Flat, nObjects)
+		treeT := make([]*TreeClock, nThreads)
+		treeO := make([]*TreeClock, nObjects)
+		for i := range flatT {
+			flatT[i], treeT[i] = vclock.NewFlat(0), New(0)
+		}
+		for i := range flatO {
+			flatO[i], treeO[i] = vclock.NewFlat(0), New(0)
+		}
+
+		for ev := 0; ev < events; ev++ {
+			tid := rng.Intn(nThreads)
+			oid := rng.Intn(nObjects)
+			step := func(tv, ov vclock.Clock) vclock.Vector {
+				tv.Join(ov)
+				if c := objectComp[oid]; c >= 0 {
+					tv.Tick(c)
+				}
+				if c := threadComp[tid]; c >= 0 {
+					tv.Tick(c)
+				}
+				tv.Grow(next)
+				ov.Join(tv)
+				return tv.Flatten()
+			}
+			fs := step(flatT[tid], flatO[oid])
+			ts := step(treeT[tid], treeO[oid])
+			if !fs.Equal(ts) {
+				t.Fatalf("seed %d event %d (T%d,O%d): flat %v, tree %v", seed, ev, tid, oid, fs, ts)
+			}
+			if err := checkInvariants(treeT[tid]); err != nil {
+				t.Fatalf("seed %d event %d: thread tree: %v", seed, ev, err)
+			}
+			if err := checkInvariants(treeO[oid]); err != nil {
+				t.Fatalf("seed %d event %d: object tree: %v", seed, ev, err)
+			}
+			if !treeO[oid].Flatten().Equal(flatO[oid].Flatten()) {
+				t.Fatalf("seed %d event %d: object clocks diverge", seed, ev)
+			}
+		}
+	}
+}
+
+// TestCrossBackendJoin drives the same discipline with deliberately mixed
+// representations (tree threads talking to flat objects and vice versa),
+// exercising the generic interface paths that skip structural pruning.
+func TestCrossBackendJoin(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		const nThreads, nObjects, events = 4, 4, 150
+
+		// Every thread and object is a component, ticks tied to the event's
+		// endpoints as in MixedClock, so the serialized-tick discipline the
+		// tree backend requires still holds.
+		ref := make([]*vclock.Flat, nThreads+nObjects)
+		mix := make([]vclock.Clock, nThreads+nObjects)
+		for i := range ref {
+			ref[i] = vclock.NewFlat(0)
+			if rng.Intn(2) == 0 {
+				mix[i] = New(0)
+			} else {
+				mix[i] = vclock.NewFlat(0)
+			}
+		}
+		for ev := 0; ev < events; ev++ {
+			tid := rng.Intn(nThreads)
+			oid := nThreads + rng.Intn(nObjects)
+			step := func(tv, ov vclock.Clock) vclock.Vector {
+				tv.Join(ov)
+				tv.Tick(oid)
+				tv.Tick(tid)
+				ov.Join(tv)
+				return tv.Flatten()
+			}
+			fs := step(ref[tid], ref[oid])
+			ms := step(mix[tid], mix[oid])
+			if !fs.Equal(ms) {
+				t.Fatalf("seed %d event %d: flat %v, mixed %v", seed, ev, fs, ms)
+			}
+			for _, c := range []vclock.Clock{mix[tid], mix[oid]} {
+				if tc, ok := c.(*TreeClock); ok {
+					if err := checkInvariants(tc); err != nil {
+						t.Fatalf("seed %d event %d: %v", seed, ev, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAppendBinaryMatchesFlat(t *testing.T) {
+	v := vclock.Vector{3, 0, 1, 0, 0}
+	tc := FromVector(v)
+	if got, want := tc.AppendBinary(nil), v.AppendBinary(nil); string(got) != string(want) {
+		t.Fatalf("tree encoding %x, flat %x", got, want)
+	}
+}

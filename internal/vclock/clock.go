@@ -1,0 +1,187 @@
+package vclock
+
+import "fmt"
+
+// Clock is the representation-independent interface over a growable vector
+// timestamp. The flat Vector (wrapped by Flat) is the reference
+// implementation; internal/treeclock provides a tree-structured one whose
+// joins skip already-dominated subtrees. Whatever the representation, a Clock
+// denotes the same mathematical object — a map from component index to
+// logical time, zero where absent — and two backends fed the same operation
+// sequence must flatten to equal Vectors.
+//
+// Clocks are mutable and not safe for concurrent use. Mutating methods
+// (Tick, Join, Grow) update the receiver in place, unlike Vector's
+// append-idiom methods.
+type Clock interface {
+	// Tick increments component i in place, growing the clock as needed.
+	Tick(i int)
+	// Join folds other into the receiver: the receiver becomes the
+	// componentwise maximum of the two. The argument is not modified.
+	Join(other Clock)
+	// Compare orders the receiver against other, missing components
+	// comparing as zero.
+	Compare(other Clock) Ordering
+	// Less reports whether the receiver happened strictly before other.
+	Less(other Clock) bool
+	// Concurrent reports whether the two clocks are incomparable.
+	Concurrent(other Clock) bool
+	// At returns component i, zero when out of range.
+	At(i int) uint64
+	// Width returns the number of components the clock currently stores
+	// (trailing zeros included).
+	Width() int
+	// Grow extends the clock with zero components to at least n.
+	Grow(n int)
+	// Clone returns an independent deep copy.
+	Clone() Clock
+	// Flatten returns the clock as a flat Vector sharing no storage with
+	// the receiver — the codec hook: flat vectors are the wire form for
+	// every backend, so logs stay backend-agnostic.
+	Flatten() Vector
+	// AppendBinary appends the canonical wire encoding (identical across
+	// backends) to dst and returns the extended slice.
+	AppendBinary(dst []byte) []byte
+}
+
+// Backend names a clock representation. The flat vector is the zero value,
+// so existing call sites keep their behavior.
+type Backend int
+
+const (
+	// BackendFlat is the reference []uint64 representation: O(k) joins and
+	// comparisons, minimal constants.
+	BackendFlat Backend = iota
+	// BackendTree is the tree clock of Mathur, Tunç, Pavlogiannis &
+	// Viswanathan (PLDI 2022): joins skip already-dominated subtrees, so
+	// hot paths with causal locality pay far less than O(k).
+	BackendTree
+)
+
+// String returns "flat" or "tree".
+func (b Backend) String() string {
+	switch b {
+	case BackendFlat:
+		return "flat"
+	case BackendTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend maps "flat" and "tree" to their Backend, for flag parsing.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "flat":
+		return BackendFlat, nil
+	case "tree":
+		return BackendTree, nil
+	default:
+		return 0, fmt.Errorf("vclock: unknown backend %q (want flat or tree)", s)
+	}
+}
+
+// Flat adapts the flat Vector to the Clock interface. It is the reference
+// backend: every other representation must agree with it operation for
+// operation.
+type Flat struct {
+	v Vector
+}
+
+var _ Clock = (*Flat)(nil)
+
+// NewFlat returns a zeroed flat clock with n components.
+func NewFlat(n int) *Flat { return &Flat{v: New(n)} }
+
+// FlatOf wraps an existing Vector without copying; the clock owns v
+// afterwards.
+func FlatOf(v Vector) *Flat { return &Flat{v: v} }
+
+// Vector returns the underlying vector (shared storage; use Flatten for an
+// independent copy).
+func (f *Flat) Vector() Vector { return f.v }
+
+// Tick implements Clock.
+func (f *Flat) Tick(i int) { f.v = f.v.Tick(i) }
+
+// Join implements Clock.
+func (f *Flat) Join(other Clock) {
+	if o, ok := other.(*Flat); ok {
+		f.v = f.v.MergeInPlace(o.v)
+		return
+	}
+	n := other.Width()
+	f.v = f.v.Grow(n)
+	for i := 0; i < n; i++ {
+		if x := other.At(i); x > f.v[i] {
+			f.v[i] = x
+		}
+	}
+}
+
+// Compare implements Clock.
+func (f *Flat) Compare(other Clock) Ordering {
+	if o, ok := other.(*Flat); ok {
+		return f.v.Compare(o.v)
+	}
+	return CompareClocks(f, other)
+}
+
+// Less implements Clock.
+func (f *Flat) Less(other Clock) bool { return f.Compare(other) == Before }
+
+// Concurrent implements Clock.
+func (f *Flat) Concurrent(other Clock) bool { return f.Compare(other) == Concurrent }
+
+// At implements Clock.
+func (f *Flat) At(i int) uint64 { return f.v.At(i) }
+
+// Width implements Clock.
+func (f *Flat) Width() int { return len(f.v) }
+
+// Grow implements Clock.
+func (f *Flat) Grow(n int) { f.v = f.v.Grow(n) }
+
+// Clone implements Clock.
+func (f *Flat) Clone() Clock { return &Flat{v: f.v.Clone()} }
+
+// Flatten implements Clock.
+func (f *Flat) Flatten() Vector { return f.v.Clone() }
+
+// AppendBinary implements Clock.
+func (f *Flat) AppendBinary(dst []byte) []byte { return f.v.AppendBinary(dst) }
+
+// String renders the clock like its flat vector.
+func (f *Flat) String() string { return f.v.String() }
+
+// CompareClocks orders a against b component by component through the Clock
+// interface — the backend-agnostic fallback used when the two sides have
+// different representations.
+func CompareClocks(a, b Clock) Ordering {
+	n := a.Width()
+	if w := b.Width(); w > n {
+		n = w
+	}
+	var less, greater bool
+	for i := 0; i < n; i++ {
+		x, y := a.At(i), b.At(i)
+		switch {
+		case x < y:
+			less = true
+		case x > y:
+			greater = true
+		}
+		if less && greater {
+			return Concurrent
+		}
+	}
+	switch {
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}

@@ -1,0 +1,83 @@
+package vclock
+
+import "testing"
+
+func TestFlatClockOps(t *testing.T) {
+	f := NewFlat(2)
+	f.Tick(0)
+	f.Tick(3)
+	if got := f.Flatten(); !got.Equal(Vector{1, 0, 0, 1}) {
+		t.Fatalf("Flatten = %v", got)
+	}
+	if f.Width() != 4 || f.At(3) != 1 || f.At(10) != 0 {
+		t.Fatalf("Width/At wrong: %v", f.Vector())
+	}
+	g := FlatOf(Vector{0, 5})
+	f.Join(g)
+	if got := f.Flatten(); !got.Equal(Vector{1, 5, 0, 1}) {
+		t.Fatalf("after Join: %v", got)
+	}
+	if ord := f.Compare(g); ord != After {
+		t.Fatalf("Compare = %v, want After", ord)
+	}
+	if !g.Less(f) || g.Concurrent(f) {
+		t.Fatal("Less/Concurrent disagree with Compare")
+	}
+	c := f.Clone()
+	f.Tick(0)
+	if c.At(0) != 1 || f.At(0) != 2 {
+		t.Fatal("Clone shares storage with original")
+	}
+	// Flatten must be independent of the clock's future mutations.
+	snap := f.Flatten()
+	f.Tick(0)
+	if snap.At(0) != 2 {
+		t.Fatalf("Flatten aliased the clock: %v", snap)
+	}
+}
+
+func TestFlatClockGrowAndBinary(t *testing.T) {
+	f := NewFlat(0)
+	f.Grow(3)
+	if f.Width() != 3 {
+		t.Fatalf("Width = %d", f.Width())
+	}
+	f.Tick(1)
+	want := Vector{0, 1, 0}.AppendBinary(nil)
+	if got := f.AppendBinary(nil); string(got) != string(want) {
+		t.Fatalf("AppendBinary %x, want %x", got, want)
+	}
+}
+
+func TestCompareClocksGeneric(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want Ordering
+	}{
+		{nil, nil, Equal},
+		{Vector{1, 2}, Vector{1, 2, 0}, Equal},
+		{Vector{1, 2}, Vector{1, 3}, Before},
+		{Vector{2, 2}, Vector{1, 2}, After},
+		{Vector{1, 0}, Vector{0, 1}, Concurrent},
+	}
+	for _, c := range cases {
+		if got := CompareClocks(FlatOf(c.a), FlatOf(c.b)); got != c.want {
+			t.Errorf("CompareClocks(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if BackendFlat.String() != "flat" || BackendTree.String() != "tree" {
+		t.Fatal("Backend.String names wrong")
+	}
+	for _, name := range []string{"flat", "tree"} {
+		b, err := ParseBackend(name)
+		if err != nil || b.String() != name {
+			t.Fatalf("ParseBackend(%q) = %v, %v", name, b, err)
+		}
+	}
+	if _, err := ParseBackend("linked-list"); err == nil {
+		t.Fatal("ParseBackend accepted junk")
+	}
+}

@@ -30,6 +30,11 @@ type (
 	Vector = vclock.Vector
 	// Ordering is the result of comparing two timestamps.
 	Ordering = vclock.Ordering
+	// Clock is the representation-independent timestamp interface; see
+	// Backend for the available implementations.
+	Clock = vclock.Clock
+	// Backend selects a clock representation: Flat or Tree.
+	Backend = vclock.Backend
 
 	// Graph is the thread–object bipartite graph of a computation.
 	Graph = bipartite.Graph
@@ -88,6 +93,15 @@ const (
 	OpRead  = event.OpRead
 )
 
+// Clock backends. Flat is the reference []uint64 representation and the
+// default everywhere; Tree is the tree clock of Mathur et al. (PLDI 2022)
+// over the mixed component space, whose joins skip already-dominated
+// subtrees. Both produce identical timestamps.
+const (
+	Flat = vclock.BackendFlat
+	Tree = vclock.BackendTree
+)
+
 // NewTrace returns an empty computation; use Append to add operations.
 func NewTrace() *Trace { return event.NewTrace() }
 
@@ -113,6 +127,18 @@ func NewClock(comps *ComponentSet) *MixedClock { return core.NewMixedClock(comps
 // the given mechanism.
 func NewOnlineClock(m Mechanism) *OnlineClock { return core.NewOnlineMixedClock(m) }
 
+// NewOnlineClockBackend is NewOnlineClock with an explicit clock
+// representation (Flat or Tree).
+func NewOnlineClockBackend(m Mechanism, b Backend) *OnlineClock {
+	return core.NewOnlineMixedClockBackend(m, b)
+}
+
+// NewClockBackend returns an offline mixed clock over a fixed component set
+// with an explicit clock representation (Flat or Tree).
+func NewClockBackend(comps *ComponentSet, b Backend) *MixedClock {
+	return core.NewMixedClockBackend(comps, b)
+}
+
 // NewHybrid returns the paper's recommended online mechanism: Popularity
 // while the revealed graph is small and sparse, NaiveThreads afterwards.
 func NewHybrid() Hybrid { return core.NewHybrid() }
@@ -122,6 +148,9 @@ func NewTracker(opts ...TrackerOption) *Tracker { return track.NewTracker(opts..
 
 // WithMechanism selects the tracker's online mechanism.
 func WithMechanism(m Mechanism) TrackerOption { return track.WithMechanism(m) }
+
+// WithBackend selects the tracker's clock representation (Flat or Tree).
+func WithBackend(b Backend) TrackerOption { return track.WithBackend(b) }
 
 // Run drives a timestamper over a whole trace, returning one timestamp per
 // event.
