@@ -9,6 +9,7 @@ package mixedclock_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"mixedclock"
@@ -373,6 +374,65 @@ func BenchmarkTracker(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkTrackerParallel measures tracker throughput across a goroutine ×
+// object grid on both clock backends — the scaling benchmark for the sharded
+// hot path. Each goroutine drives its own Thread (as the API requires) over
+// a slice of shared objects; with the global tracker lock gone, the only
+// cross-goroutine contention left is the object stripes themselves, so
+// throughput should grow with goroutines until the object set saturates.
+// CI's benchmark-regression gate compares this (and BenchmarkBackends)
+// against the PR base via benchstat + cmd/benchdiff.
+func BenchmarkTrackerParallel(b *testing.B) {
+	for _, backend := range []mixedclock.Backend{mixedclock.Flat, mixedclock.Tree} {
+		for _, goroutines := range []int{1, 2, 4, 8} {
+			for _, objects := range []int{8, 64} {
+				name := fmt.Sprintf("%v/goroutines=%d/objects=%d", backend, goroutines, objects)
+				b.Run(name, func(b *testing.B) {
+					tracker := mixedclock.NewTracker(mixedclock.WithBackend(backend))
+					objs := make([]*mixedclock.Object, objects)
+					for i := range objs {
+						objs[i] = tracker.NewObject("o")
+					}
+					threads := make([]*mixedclock.Thread, goroutines)
+					for i := range threads {
+						threads[i] = tracker.NewThread("w")
+					}
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for g := 0; g < goroutines; g++ {
+						wg.Add(1)
+						go func(th *mixedclock.Thread, g int) {
+							defer wg.Done()
+							// Mostly-private slice of objects with periodic
+							// crossings, so causality actually flows between
+							// goroutines without serializing every op. The
+							// crossing index advances with i/16 (decoupled
+							// from the %16 phase) so crossings sweep the
+							// whole object set from every goroutine.
+							n := b.N / goroutines
+							for i := 0; i < n; i++ {
+								var o *mixedclock.Object
+								if i%16 == 0 {
+									o = objs[(i/16+g)%len(objs)]
+								} else {
+									o = objs[(g*7+i*goroutines)%len(objs)]
+								}
+								th.Write(o, nil)
+							}
+						}(threads[g], g)
+					}
+					wg.Wait()
+					b.StopTimer()
+					if err := tracker.Err(); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(tracker.Events())/b.Elapsed().Seconds(), "ops/s")
+				})
+			}
+		}
 	}
 }
 

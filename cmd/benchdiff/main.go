@@ -1,0 +1,211 @@
+// Benchdiff is the CI benchmark-regression gate: it parses two `go test
+// -bench` output files (base and head), takes the per-benchmark minimum of
+// the ns/op samples (robust to the one-sided noise of shared CI runners),
+// writes the comparison as JSON, and exits nonzero when any benchmark
+// present in both runs slowed down by more than the threshold.
+//
+//	go test -bench 'Backends|TrackerParallel' -count=6 > head.txt   # on PR
+//	git checkout $BASE && go test -bench ... > base.txt             # on base
+//	go run ./cmd/benchdiff -base base.txt -head head.txt \
+//	    -json BENCH_pr.json -threshold-pct 20
+//
+// Benchmarks that exist only in one run are reported but never gate (new
+// benchmarks have no baseline; deleted ones have no head). benchdiff
+// complements benchstat: benchstat gives the statistician's view, benchdiff
+// gives a deterministic threshold and a machine-readable artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is the aggregate of one benchmark's runs within a single file.
+// The gate compares minima: ns/op noise on shared CI runners is one-sided
+// (noisy neighbours only ever slow a run down), so the min of -count runs
+// is the most stable estimate of true cost. The mean is kept for context.
+type Sample struct {
+	Name   string  `json:"name"`
+	Count  int     `json:"count"`
+	MinNs  float64 `json:"min_ns_per_op"`
+	MeanNs float64 `json:"mean_ns_per_op"`
+}
+
+// Comparison is one benchmark's base-vs-head entry in the JSON artifact.
+// The ns/op figures are per-file minima (see Sample).
+type Comparison struct {
+	Name     string   `json:"name"`
+	BaseNsOp *float64 `json:"base_ns_per_op,omitempty"`
+	HeadNsOp *float64 `json:"head_ns_per_op,omitempty"`
+	// DeltaPct is (head-base)/base*100; positive means head is slower.
+	DeltaPct   *float64 `json:"delta_pct,omitempty"`
+	Regression bool     `json:"regression"`
+}
+
+// Report is the full JSON artifact.
+type Report struct {
+	ThresholdPct float64      `json:"threshold_pct"`
+	Regressions  int          `json:"regressions"`
+	Benchmarks   []Comparison `json:"benchmarks"`
+}
+
+// parseBenchFile reads `go test -bench` output, collecting ns/op samples per
+// benchmark name. The GOMAXPROCS suffix (-8 etc.) is kept: it is part of the
+// benchmark's identity, and base and head run on the same machine in CI.
+func parseBenchFile(path string) (map[string]*Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*Sample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		ns, name, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s := out[name]
+		if s == nil {
+			s = &Sample{Name: name, MinNs: ns}
+			out[name] = s
+		}
+		if ns < s.MinNs {
+			s.MinNs = ns
+		}
+		// Running mean keeps the math overflow-safe for any count.
+		s.Count++
+		s.MeanNs += (ns - s.MeanNs) / float64(s.Count)
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine extracts (ns/op, name) from one benchmark result line, or
+// reports ok=false for any other line (headers, PASS, metrics-only lines).
+func parseBenchLine(line string) (ns float64, name string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return 0, "", false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return 0, "", false // iterations column missing: not a result line
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return 0, "", false
+			}
+			return v, fields[0], true
+		}
+	}
+	return 0, "", false
+}
+
+// compare joins base and head samples into the report, flagging regressions
+// beyond thresholdPct.
+func compare(base, head map[string]*Sample, thresholdPct float64) Report {
+	names := make(map[string]bool)
+	for n := range base {
+		names[n] = true
+	}
+	for n := range head {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	rep := Report{ThresholdPct: thresholdPct}
+	for _, n := range sorted {
+		c := Comparison{Name: n}
+		b, h := base[n], head[n]
+		if b != nil {
+			v := b.MinNs
+			c.BaseNsOp = &v
+		}
+		if h != nil {
+			v := h.MinNs
+			c.HeadNsOp = &v
+		}
+		if b != nil && h != nil && b.MinNs > 0 {
+			d := (h.MinNs - b.MinNs) / b.MinNs * 100
+			c.DeltaPct = &d
+			if d > thresholdPct {
+				c.Regression = true
+				rep.Regressions++
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, c)
+	}
+	return rep
+}
+
+func run(basePath, headPath, jsonPath string, thresholdPct float64, stdout *os.File) (int, error) {
+	base, err := parseBenchFile(basePath)
+	if err != nil {
+		return 2, fmt.Errorf("base: %w", err)
+	}
+	head, err := parseBenchFile(headPath)
+	if err != nil {
+		return 2, fmt.Errorf("head: %w", err)
+	}
+	rep := compare(base, head, thresholdPct)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return 2, err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return 2, err
+		}
+	}
+	for _, c := range rep.Benchmarks {
+		switch {
+		case c.DeltaPct != nil:
+			flag := " "
+			if c.Regression {
+				flag = "!"
+			}
+			fmt.Fprintf(stdout, "%s %-60s %12.1f → %12.1f ns/op  %+6.1f%%\n",
+				flag, c.Name, *c.BaseNsOp, *c.HeadNsOp, *c.DeltaPct)
+		case c.HeadNsOp != nil:
+			fmt.Fprintf(stdout, "+ %-60s %27.1f ns/op  (new)\n", c.Name, *c.HeadNsOp)
+		default:
+			fmt.Fprintf(stdout, "- %-60s (gone)\n", c.Name)
+		}
+	}
+	if rep.Regressions > 0 {
+		fmt.Fprintf(stdout, "\nFAIL: %d benchmark(s) regressed more than %.0f%%\n", rep.Regressions, thresholdPct)
+		return 1, nil
+	}
+	fmt.Fprintf(stdout, "\nOK: no benchmark regressed more than %.0f%%\n", thresholdPct)
+	return 0, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "bench output of the base commit")
+	headPath := flag.String("head", "", "bench output of the head commit")
+	jsonPath := flag.String("json", "", "write the comparison as JSON to this path")
+	threshold := flag.Float64("threshold-pct", 20, "fail when ns/op grows by more than this percent")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -base base.txt -head head.txt [-json out.json] [-threshold-pct 20]")
+		os.Exit(2)
+	}
+	code, err := run(*basePath, *headPath, *jsonPath, *threshold, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	tests := []struct {
+		line string
+		ns   float64
+		name string
+		ok   bool
+	}{
+		{"BenchmarkTracker/objects=16-8   \t 1488769\t       396.2 ns/op", 396.2, "BenchmarkTracker/objects=16-8", true},
+		{"BenchmarkBackends/deep-join/flat-8  100  1234 ns/op  257 components  5.2 ns/event", 1234, "BenchmarkBackends/deep-join/flat-8", true},
+		{"BenchmarkX-8  200  88 ns/op  12 B/op  3 allocs/op", 88, "BenchmarkX-8", true},
+		{"goos: linux", 0, "", false},
+		{"PASS", 0, "", false},
+		{"ok  \tmixedclock\t2.4s", 0, "", false},
+		{"BenchmarkNoIters ns/op garbage", 0, "", false},
+	}
+	for _, tt := range tests {
+		ns, name, ok := parseBenchLine(tt.line)
+		if ok != tt.ok || name != tt.name || ns != tt.ns {
+			t.Errorf("parseBenchLine(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				tt.line, ns, name, ok, tt.ns, tt.name, tt.ok)
+		}
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCountAggregation(t *testing.T) {
+	p := writeTemp(t, "b.txt", `
+BenchmarkA-8  100  150 ns/op
+BenchmarkA-8  100  100 ns/op
+BenchmarkA-8  100  350 ns/op
+`)
+	got, err := parseBenchFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got["BenchmarkA-8"]
+	if s == nil || s.Count != 3 || s.MinNs != 100 || s.MeanNs != 200 {
+		t.Fatalf("sample = %+v, want count 3 min 100 mean 200", s)
+	}
+}
+
+func TestCompareGatesOnThreshold(t *testing.T) {
+	base := map[string]*Sample{
+		"BenchmarkSlower-8": {Name: "BenchmarkSlower-8", Count: 1, MinNs: 100, MeanNs: 100},
+		"BenchmarkSame-8":   {Name: "BenchmarkSame-8", Count: 1, MinNs: 100, MeanNs: 100},
+		"BenchmarkGone-8":   {Name: "BenchmarkGone-8", Count: 1, MinNs: 50, MeanNs: 50},
+	}
+	head := map[string]*Sample{
+		"BenchmarkSlower-8": {Name: "BenchmarkSlower-8", Count: 1, MinNs: 121, MeanNs: 121},
+		"BenchmarkSame-8":   {Name: "BenchmarkSame-8", Count: 1, MinNs: 119, MeanNs: 119},
+		"BenchmarkNew-8":    {Name: "BenchmarkNew-8", Count: 1, MinNs: 10, MeanNs: 10},
+	}
+	rep := compare(base, head, 20)
+	if rep.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", rep.Regressions)
+	}
+	byName := map[string]Comparison{}
+	for _, c := range rep.Benchmarks {
+		byName[c.Name] = c
+	}
+	if !byName["BenchmarkSlower-8"].Regression {
+		t.Error("21% slowdown not flagged at 20% threshold")
+	}
+	if byName["BenchmarkSame-8"].Regression {
+		t.Error("19% slowdown flagged at 20% threshold")
+	}
+	if byName["BenchmarkNew-8"].Regression || byName["BenchmarkNew-8"].DeltaPct != nil {
+		t.Error("benchmark without baseline must not gate")
+	}
+	if byName["BenchmarkGone-8"].Regression || byName["BenchmarkGone-8"].HeadNsOp != nil {
+		t.Error("deleted benchmark must not gate")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	base := writeTemp(t, "base.txt", "BenchmarkA-8  100  100 ns/op\n")
+	headOK := writeTemp(t, "head_ok.txt", "BenchmarkA-8  100  105 ns/op\nBenchmarkB-8  10  7 ns/op\n")
+	headBad := writeTemp(t, "head_bad.txt", "BenchmarkA-8  100  150 ns/op\n")
+	jsonOut := filepath.Join(t.TempDir(), "BENCH_pr.json")
+
+	code, err := run(base, headOK, jsonOut, 20, os.Stdout)
+	if err != nil || code != 0 {
+		t.Fatalf("ok case: code %d, err %v", code, err)
+	}
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"threshold_pct": 20`, `"BenchmarkA-8"`, `"BenchmarkB-8"`, `"regressions": 0`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("artifact missing %q:\n%s", want, data)
+		}
+	}
+
+	code, err = run(base, headBad, "", 20, os.Stdout)
+	if err != nil || code != 1 {
+		t.Fatalf("regression case: code %d, err %v (want 1, nil)", code, err)
+	}
+}

@@ -48,6 +48,18 @@
 // census and schedule-sensitivity report in internal/detect, and compute
 // recovery lines in internal/cut.
 //
+// The tracker's hot path is sharded rather than globally locked: each
+// Thread owns its clock and record buffer, each Object's lock protects that
+// object's last-writer clock (the stripe all cross-thread causality flows
+// through), and component discovery is read-mostly. Per-thread records are
+// merged into the canonical trace when a snapshot is taken:
+//
+//	trace, stamps := tracker.Snapshot() // one barrier, consistent pair
+//
+// Snapshot, Trace, Stamps and Compact are stop-the-world barriers that
+// quiesce in-flight operations; see the internal/track package
+// documentation for the full concurrency model.
+//
 // # Choosing a backend
 //
 // The mixed clock minimizes how many components a timestamp carries; the

@@ -84,9 +84,10 @@ func main() {
 	fmt.Printf("mixed clock grew to %d components: %v\n", tracker.Size(), tracker.Components())
 	fmt.Printf("(a thread clock would use %d, an object clock %d)\n\n", tellers, accounts)
 
-	// Audit 1: how much genuine concurrency did the run have?
-	tr := tracker.Trace()
-	stamps := tracker.Stamps()
+	// Audit 1: how much genuine concurrency did the run have? Snapshot
+	// merges the per-teller record buffers behind one barrier, so the trace
+	// and stamps are a consistent pair.
+	tr, stamps := tracker.Snapshot()
 	fmt.Printf("census: %v\n", mixedclock.TakeCensus(stamps))
 
 	// Audit 2: which same-account update pairs were ordered only by the

@@ -82,8 +82,7 @@ func main() {
 
 	fmt.Printf("pipeline done: %d items queued, %d results\n", len(queued), len(resultSet))
 
-	tr := tracker.Trace()
-	stamps := tracker.Stamps()
+	tr, stamps := tracker.Snapshot()
 	fmt.Printf("recorded %d events; clock has %d components %v\n\n",
 		tracker.Events(), tracker.Size(), tracker.Components())
 

@@ -62,10 +62,38 @@ func NewBackendClock(b vclock.Backend) vclock.Clock {
 	return vclock.NewFlat(0)
 }
 
-// Timestamp implements clock.Timestamper. The thread's clock is the mutable
-// master: it absorbs the object's clock, ticks the covered endpoints, and the
-// object's clock then re-absorbs the result — in-place joins at both steps,
-// which is where the tree backend's subtree pruning pays off.
+// UpdateRule is the single implementation of the §III-C clock update,
+// shared by MixedClock (offline/online timestamping) and the live tracker
+// (package track). The thread's clock is the mutable master: it absorbs the
+// object's clock, ticks the covered endpoints (object first, then thread),
+// grows to the clock width so printed stamps align (the paper's Fig. 3
+// shows fixed-width vectors; comparisons are width-agnostic either way),
+// and the object's clock then re-absorbs the result — in-place joins at
+// both steps, which is where the tree backend's subtree pruning pays off.
+// After the call tv holds the event's timestamp and ov equals it.
+//
+// thrIdx and objIdx are the endpoints' component indices, -1 when the
+// endpoint is not a component. The return value reports whether any
+// endpoint was covered; false means the clock cannot order this event.
+func UpdateRule(tv, ov vclock.Clock, thrIdx, objIdx, width int) bool {
+	tv.Join(ov)
+	ticked := false
+	if objIdx >= 0 {
+		tv.Tick(objIdx)
+		ticked = true
+	}
+	if thrIdx >= 0 {
+		tv.Tick(thrIdx)
+		ticked = true
+	}
+	tv.Grow(width)
+	// tv dominates ov (it just joined it), so this join makes ov equal to
+	// the event clock; for the tree backend it copies only what changed.
+	ov.Join(tv)
+	return ticked
+}
+
+// Timestamp implements clock.Timestamper via UpdateRule.
 func (c *MixedClock) Timestamp(e event.Event) vclock.Vector {
 	tv := c.threads[e.Thread]
 	if tv == nil {
@@ -73,36 +101,24 @@ func (c *MixedClock) Timestamp(e event.Event) vclock.Vector {
 		c.threads[e.Thread] = tv
 	}
 	ov := c.objects[e.Object]
-	if ov != nil {
-		tv.Join(ov)
+	if ov == nil {
+		ov = NewBackendClock(c.backend)
+		c.objects[e.Object] = ov
 	}
-	ticked := false
-	if i, ok := c.comps.IndexOf(ObjectComponent(e.Object)); ok {
-		tv.Tick(i)
-		ticked = true
-	}
+	thrIdx, objIdx := -1, -1
 	if i, ok := c.comps.IndexOf(ThreadComponent(e.Thread)); ok {
-		tv.Tick(i)
-		ticked = true
+		thrIdx = i
 	}
-	if !ticked && c.err == nil {
+	if i, ok := c.comps.IndexOf(ObjectComponent(e.Object)); ok {
+		objIdx = i
+	}
+	if !UpdateRule(tv, ov, thrIdx, objIdx, c.comps.Len()) && c.err == nil {
 		// The event's edge is not covered: this clock was built for a
 		// different computation. The stamp returned here cannot order the
 		// event; record the misuse for Err instead of panicking.
 		c.err = fmt.Errorf("core: event %d %v not covered by components %v",
 			e.Index, e, c.comps)
 	}
-	// Grow to the full current width so printed stamps align (the paper's
-	// Fig. 3 shows fixed-width vectors); comparisons are width-agnostic
-	// either way.
-	tv.Grow(c.comps.Len())
-	if ov == nil {
-		ov = NewBackendClock(c.backend)
-		c.objects[e.Object] = ov
-	}
-	// tv dominates ov (it just joined it), so this join makes ov equal to
-	// the event clock; for the tree backend it copies only what changed.
-	ov.Join(tv)
 	c.events++
 	return tv.Flatten()
 }

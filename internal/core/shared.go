@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/event"
+)
+
+// SharedCover makes a CoverTracker safe for concurrent revealers. It is the
+// component-discovery path of the live tracker (package track): many
+// goroutines observe (thread, object) pairs at once, but after a short
+// warm-up almost every pair has been seen before, so the common case must
+// not take an exclusive lock.
+//
+// Observe is the single entry point for the hot path. It answers, in one
+// lock acquisition, everything the §III-C update rule needs for an event:
+// which of the two endpoints are clock components (their indices) and the
+// current clock width. A revealed edge only ever adds components
+// (append-only, §IV), so a reader that finds the edge already present can
+// serve the lookups under the read lock; only a genuinely new edge upgrades
+// to the write lock and runs the mechanism.
+type SharedCover struct {
+	mu sync.RWMutex
+	ct *CoverTracker
+}
+
+// NewSharedCover wraps ct for concurrent use. The SharedCover owns ct
+// afterwards; callers must not keep revealing through ct directly.
+func NewSharedCover(ct *CoverTracker) *SharedCover {
+	return &SharedCover{ct: ct}
+}
+
+// Observe reveals the edge (t, o) if it is new and returns the tick plan for
+// the event: the component indices of thread t and object o (-1 when the
+// endpoint is not a component) and the current clock width. The cover
+// invariant guarantees at least one index is non-negative for any edge the
+// mechanism has processed.
+func (s *SharedCover) Observe(t event.ThreadID, o event.ObjectID) (thrIdx, objIdx, width int) {
+	s.mu.RLock()
+	if s.ct.graph.HasEdge(int(t), int(o)) {
+		thrIdx, objIdx, width = s.lookupLocked(t, o)
+		s.mu.RUnlock()
+		return thrIdx, objIdx, width
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	// Another goroutine may have revealed the same edge between the two
+	// locks; Reveal coalesces duplicates, so re-running it is harmless.
+	s.ct.Reveal(t, o)
+	thrIdx, objIdx, width = s.lookupLocked(t, o)
+	s.mu.Unlock()
+	return thrIdx, objIdx, width
+}
+
+// lookupLocked resolves the component indices of an edge's endpoints and the
+// clock width. Callers hold s.mu in either mode.
+func (s *SharedCover) lookupLocked(t event.ThreadID, o event.ObjectID) (thrIdx, objIdx, width int) {
+	thrIdx, objIdx = -1, -1
+	if i, ok := s.ct.comps.IndexOf(ThreadComponent(t)); ok {
+		thrIdx = i
+	}
+	if i, ok := s.ct.comps.IndexOf(ObjectComponent(o)); ok {
+		objIdx = i
+	}
+	return thrIdx, objIdx, s.ct.comps.Len()
+}
+
+// Size returns the current vector-clock size.
+func (s *SharedCover) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ct.Size()
+}
+
+// Components returns a copy of the current component set.
+func (s *SharedCover) Components() []Component {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ct.Components().Components()
+}
+
+// ComponentsString renders the component set (for error messages).
+func (s *SharedCover) ComponentsString() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ct.Components().String()
+}
+
+// Graph returns the revealed thread–object graph. The graph is shared, not
+// copied: callers must quiesce all revealers first (the live tracker calls
+// this only under its compaction barrier).
+func (s *SharedCover) Graph() *bipartite.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ct.Graph()
+}
+
+// Mechanism returns the driving mechanism.
+func (s *SharedCover) Mechanism() Mechanism {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ct.Mechanism()
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mixedclock/internal/event"
+)
+
+func TestSharedCoverObserveCoversEveryEdge(t *testing.T) {
+	s := NewSharedCover(NewCoverTracker(NewHybrid()))
+	edges := []struct{ t, o int }{{0, 0}, {1, 0}, {0, 1}, {2, 2}, {1, 0}, {0, 0}}
+	for _, e := range edges {
+		thrIdx, objIdx, width := s.Observe(event.ThreadID(e.t), event.ObjectID(e.o))
+		if thrIdx < 0 && objIdx < 0 {
+			t.Fatalf("edge (%d,%d) observed but uncovered", e.t, e.o)
+		}
+		if width != s.Size() {
+			t.Fatalf("width %d != size %d", width, s.Size())
+		}
+		if thrIdx >= width || objIdx >= width {
+			t.Fatalf("component index out of range: thr=%d obj=%d width=%d", thrIdx, objIdx, width)
+		}
+	}
+	// The cover invariant over the revealed graph.
+	g := s.Graph()
+	comps := NewComponentSet()
+	for _, c := range s.Components() {
+		comps.Add(c)
+	}
+	for _, e := range g.EdgeList() {
+		if !comps.Covers(event.ThreadID(e.Thread), event.ObjectID(e.Object)) {
+			t.Fatalf("edge %v not covered by %v", e, comps)
+		}
+	}
+}
+
+func TestSharedCoverIndicesAreStable(t *testing.T) {
+	// Append-only component sets mean an index, once returned, never moves.
+	s := NewSharedCover(NewCoverTracker(NaiveThreads{}))
+	first, _, _ := s.Observe(0, 0)
+	if first < 0 {
+		t.Fatal("naive mechanism must cover via the thread")
+	}
+	for i := 1; i < 50; i++ {
+		s.Observe(event.ThreadID(i), event.ObjectID(i%7))
+	}
+	again, _, _ := s.Observe(0, 0)
+	if again != first {
+		t.Fatalf("component index moved: %d → %d", first, again)
+	}
+}
+
+func TestSharedCoverConcurrentReveal(t *testing.T) {
+	// Many goroutines race to reveal overlapping edge sets; every Observe
+	// must come back covered and the final state must equal a serial reveal
+	// of the same edge set (same cover size for naive, which is
+	// deterministic in the set of distinct threads revealed).
+	s := NewSharedCover(NewCoverTracker(NaiveThreads{}))
+	const nGoroutines, nThreads, nObjects, ops = 8, 10, 6, 400
+	var wg sync.WaitGroup
+	errs := make(chan error, nGoroutines)
+	for g := 0; g < nGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				tid := event.ThreadID((g + i) % nThreads)
+				oid := event.ObjectID((g * i) % nObjects)
+				thrIdx, objIdx, width := s.Observe(tid, oid)
+				if thrIdx < 0 && objIdx < 0 {
+					errs <- fmt.Errorf("edge (%d,%d) observed but uncovered", tid, oid)
+					return
+				}
+				if width == 0 {
+					errs <- fmt.Errorf("edge (%d,%d): zero width after observe", tid, oid)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Size(); got != nThreads {
+		t.Fatalf("naive cover size = %d, want %d (one per revealed thread)", got, nThreads)
+	}
+}

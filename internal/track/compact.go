@@ -13,15 +13,16 @@ import (
 // component set for the graph revealed so far (Algorithm 1) and starts a
 // new epoch whose vectors are zero over those components.
 //
-// Cross-epoch semantics: compaction is a synchronization barrier. Commits
-// are totally ordered by the tracker's lock, so every event of epoch k
-// commits before every event of epoch k+1; Stamped.Order reports earlier
-// epochs as Before. That is SOUND — it never inverts a true
-// happened-before relation — but it COARSENS concurrency: two events in
-// different epochs always read as ordered even if the program imposed no
-// dependency between them. Within an epoch, precision is exact as before.
-// Call Compact at natural barriers (phase changes, checkpoints) where that
-// coarsening is already true of the program.
+// Cross-epoch semantics: compaction is a synchronization barrier. Compact
+// takes the world write lock, which waits out every in-flight Do (each
+// holds the read side across its commit), so every event of epoch k commits
+// before every event of epoch k+1; Stamped.Order reports earlier epochs as
+// Before. That is SOUND — it never inverts a true happened-before relation —
+// but it COARSENS concurrency: two events in different epochs always read
+// as ordered even if the program imposed no dependency between them. Within
+// an epoch, precision is exact as before. Call Compact at natural barriers
+// (phase changes, checkpoints) where that coarsening is already true of the
+// program.
 
 // Order compares two stamped operations from the same tracker, taking
 // epochs into account: within an epoch, the vector order; across epochs,
@@ -37,24 +38,37 @@ func (s Stamped) Order(t Stamped) vclock.Ordering {
 	}
 }
 
-// Compact starts a new epoch over the optimal component set for the
-// computation revealed so far. It returns the new epoch number and the
-// compacted clock size. Pending operations blocked on the tracker commit
-// into the new epoch.
+// Compact quiesces all threads (a stop-the-world barrier), merges the
+// per-thread record buffers, and starts a new epoch over the optimal
+// component set for the computation revealed so far. It returns the new
+// epoch number and the compacted clock size. Operations blocked on the
+// barrier commit into the new epoch with fresh zero clocks.
 func (t *Tracker) Compact() (epoch, size int, err error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.world.Lock()
+	defer t.world.Unlock()
+	t.mergeLocked()
 
-	analysis := core.Analyze(t.cover.Graph())
+	cover := t.cover.Load()
+	analysis := core.Analyze(cover.Graph())
 	if verr := analysis.Verify(); verr != nil {
 		return 0, 0, fmt.Errorf("track: compaction analysis: %w", verr)
 	}
-	seeded, err := core.NewSeededCoverTracker(t.cover.Mechanism(), analysis.Graph, analysis.Components)
+	seeded, err := core.NewSeededCoverTracker(cover.Mechanism(), analysis.Graph, analysis.Components)
 	if err != nil {
 		return 0, 0, fmt.Errorf("track: compaction: %w", err)
 	}
-	t.cover = seeded
-	t.clock = core.NewMixedClockBackend(seeded.Components(), t.backend)
+	t.cover.Store(core.NewSharedCover(seeded))
+	// Reset every thread- and object-local clock: the new epoch starts from
+	// zero over the compacted components. No Do is in flight (we hold the
+	// write lock), so the per-thread and per-object state is quiescent.
+	t.reg.Lock()
+	for _, th := range t.threads {
+		th.clock = nil
+	}
+	for _, o := range t.objects {
+		o.clock = nil
+	}
+	t.reg.Unlock()
 	t.epoch++
 	t.epochStart = append(t.epochStart, t.trace.Len())
 	return t.epoch, seeded.Size(), nil
@@ -62,23 +76,23 @@ func (t *Tracker) Compact() (epoch, size int, err error) {
 
 // Epoch returns the current epoch number (0 before any compaction).
 func (t *Tracker) Epoch() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.world.RLock()
+	defer t.world.RUnlock()
 	return t.epoch
 }
 
 // EpochStarts returns, for each epoch, the index of its first event in the
 // recorded trace. Epoch 0 always starts at 0; an epoch may be empty.
 func (t *Tracker) EpochStarts() []int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.world.RLock()
+	defer t.world.RUnlock()
 	return append([]int{0}, t.epochStart...)
 }
 
 // EpochOf returns the epoch that event index i was recorded in.
 func (t *Tracker) EpochOf(i int) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.world.RLock()
+	defer t.world.RUnlock()
 	epoch := 0
 	for _, start := range t.epochStart {
 		if i >= start {

@@ -2,18 +2,59 @@
 // "multithreaded systems" substrate of the paper, with goroutines as threads
 // and lock-protected shared objects as the paper's sequential objects.
 //
-// A Tracker owns the clock state. Goroutines register as Threads, shared
-// state registers as Objects, and every operation runs through Thread.Do,
-// which enforces the per-object mutual exclusion the paper assumes, assigns
-// the operation a mixed-vector-clock timestamp (growing the component set
-// online via a configurable mechanism), and records the event. The recorded
-// trace and timestamps can then be analyzed, validated, or replayed
-// offline.
+// A Tracker owns the clock bookkeeping. Goroutines register as Threads,
+// shared state registers as Objects, and every operation runs through
+// Thread.Do, which enforces the per-object mutual exclusion the paper
+// assumes, assigns the operation a mixed-vector-clock timestamp (growing the
+// component set online via a configurable mechanism), and records the event.
+// The recorded trace and timestamps can then be analyzed, validated, or
+// replayed offline.
+//
+// # Concurrency model
+//
+// The hot path takes no global lock. The paper's update rule (§III-C) only
+// ever touches the clocks of the event's own thread and object, so the
+// tracker shards its state along exactly those lines:
+//
+//   - Thread-local: each Thread owns its clock and an append buffer of
+//     recorded operations. Both are touched only by the goroutine driving
+//     the Thread (a Thread must be used by one goroutine at a time), so
+//     they need no lock at all.
+//   - Object-striped: each Object carries a mutex — the paper's per-object
+//     mutual exclusion — and, under it, the object's last-writer clock.
+//     Thread.Do holds the object lock across the user's function and the
+//     clock update, so joins against the object's clock read and write it
+//     race-free and in the object's execution order. (Cross-thread
+//     causality flows only through these per-object joins.)
+//   - Read-mostly: component discovery goes through core.SharedCover, whose
+//     fast path (edge already revealed — the steady state) takes only a
+//     read lock. Only a genuinely new (thread, object) edge takes the write
+//     lock and runs the component-choice mechanism.
+//   - Global: a single atomic counter assigns each operation its dense
+//     trace index. The counter is fetched while the object lock is held, so
+//     index order refines both program order and object order — i.e. the
+//     merged trace is a linearization of happened-before.
+//
+// Trace recording is deferred: operations accumulate in per-thread buffers
+// and are merged (sorted by trace index) only when a snapshot is taken —
+// Trace, Stamps, Snapshot — or at compaction. Those merge points, and
+// Compact itself, are stop-the-world barriers: they take the write side of
+// an RWMutex whose read side every commit holds, quiescing all in-flight
+// clock updates. This is what preserves the epoch semantics of Compact
+// (every event of epoch k commits before every event of epoch k+1) without
+// a lock on the per-event path. The read lock covers only the commit, not
+// the user's callback, so a callback may freely block, nest Do calls (on
+// different objects, with the usual mutex lock-ordering discipline), or
+// call any Tracker method — exactly as with the earlier global-mutex
+// tracker. An operation whose callback straddles a compaction simply
+// commits into the new epoch.
 package track
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mixedclock/internal/core"
 	"mixedclock/internal/event"
@@ -39,24 +80,48 @@ func (s Stamped) HappenedBefore(t Stamped) bool { return s.Order(t) == vclock.Be
 // barrier.
 func (s Stamped) Concurrent(t Stamped) bool { return s.Order(t) == vclock.Concurrent }
 
+// record is one committed operation waiting in a thread's append buffer.
+type record struct {
+	ev event.Event
+	v  vclock.Vector
+}
+
 // Tracker coordinates causality tracking across goroutines. Create one per
 // tracked computation with NewTracker; all methods are safe for concurrent
 // use.
 type Tracker struct {
-	mu      sync.Mutex
-	cover   *core.CoverTracker
-	clock   *core.MixedClock
-	backend vclock.Backend
-	trace   *event.Trace
-	stamps  []vclock.Vector
+	// world is the stop-the-world barrier: every Do holds it for reading
+	// across its commit; snapshots and Compact hold it for writing, which
+	// quiesces all in-flight operations.
+	world sync.RWMutex
+
+	// reg guards thread and object registration (the slices, not the
+	// per-thread/per-object clock state).
+	reg     sync.Mutex
 	threads []*Thread
 	objects []*Object
-	// epoch counts compactions; epochStart[i] is the trace index where
-	// epoch i+1 began.
+
+	// cover is the concurrent component-discovery path; replaced wholesale
+	// at compaction (under the world barrier). The pointer itself is
+	// atomic so read-only accessors (Size, Components) stay safe — and
+	// deadlock-free even inside a Do callback — without the world lock.
+	cover   atomic.Pointer[core.SharedCover]
+	backend vclock.Backend
+
+	// seq assigns each commit its dense global trace index; fetched while
+	// the object lock is held so index order linearizes happened-before.
+	seq atomic.Int64
+
+	// Merged history and epoch bookkeeping, written only under the world
+	// write lock. epoch is additionally read by commits under the read
+	// lock; epochStart[i] is the trace index where epoch i+1 began.
+	trace      *event.Trace
+	stamps     []vclock.Vector
 	epoch      int
 	epochStart []int
-	// firstErr keeps the first clock misuse across epochs (each
-	// compaction installs a fresh clock, which would otherwise reset Err).
+
+	// firstErr keeps the first clock misuse across epochs.
+	errMu    sync.Mutex
 	firstErr error
 }
 
@@ -89,23 +154,30 @@ func NewTracker(opts ...Option) *Tracker {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	cover := core.NewCoverTracker(o.mech)
-	return &Tracker{
-		cover:   cover,
-		clock:   core.NewMixedClockBackend(cover.Components(), o.backend),
+	t := &Tracker{
 		backend: o.backend,
 		trace:   event.NewTrace(),
 	}
+	t.cover.Store(core.NewSharedCover(core.NewCoverTracker(o.mech)))
+	return t
 }
 
 // Thread is a registered logical thread. A Thread must be used by one
 // goroutine at a time (typically the goroutine that created it), mirroring
-// the paper's sequential processes; the Tracker itself is what synchronizes
-// cross-thread state.
+// the paper's sequential processes. The thread's clock and record buffer are
+// owned by that goroutine; only the stop-the-world barrier touches them from
+// outside.
 type Thread struct {
 	t    *Tracker
 	id   event.ThreadID
 	name string
+
+	// clock is the thread's working clock, nil until the first operation
+	// of an epoch. Owned by the driving goroutine (under the world read
+	// lock); reset by Compact (under the world write lock).
+	clock vclock.Clock
+	// buf holds committed records not yet merged into the tracker's trace.
+	buf []record
 }
 
 // ID returns the thread's dense identifier.
@@ -115,12 +187,19 @@ func (th *Thread) ID() event.ThreadID { return th.id }
 func (th *Thread) Name() string { return th.name }
 
 // Object is a registered shared object. Its embedded lock enforces the
-// paper's assumption that operations on a single object are sequential.
+// paper's assumption that operations on a single object are sequential, and
+// protects the object's last-writer clock — the stripe through which all
+// cross-thread causality flows.
 type Object struct {
 	mu   sync.Mutex
 	t    *Tracker
 	id   event.ObjectID
 	name string
+
+	// clock is the full clock of the object's latest operation, nil until
+	// the first operation of an epoch. Protected by mu; reset by Compact
+	// (under the world write lock, with no Do in flight).
+	clock vclock.Clock
 }
 
 // ID returns the object's dense identifier.
@@ -131,8 +210,8 @@ func (o *Object) Name() string { return o.name }
 
 // NewThread registers a new logical thread.
 func (t *Tracker) NewThread(name string) *Thread {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.reg.Lock()
+	defer t.reg.Unlock()
 	th := &Thread{t: t, id: event.ThreadID(len(t.threads)), name: name}
 	t.threads = append(t.threads, th)
 	return th
@@ -140,8 +219,8 @@ func (t *Tracker) NewThread(name string) *Thread {
 
 // NewObject registers a new shared object.
 func (t *Tracker) NewObject(name string) *Object {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.reg.Lock()
+	defer t.reg.Unlock()
 	o := &Object{t: t, id: event.ObjectID(len(t.objects)), name: name}
 	t.objects = append(t.objects, o)
 	return o
@@ -154,9 +233,12 @@ func (t *Tracker) NewObject(name string) *Object {
 //
 // Nested Do calls on *different* objects are allowed (the inner operation is
 // recorded first, as its own event); the usual lock-ordering discipline
-// applies, exactly as with raw mutexes.
+// applies, exactly as with raw mutexes. fn may block or call any Tracker
+// method: the world read lock is taken only around the commit that follows
+// fn, so callbacks cannot deadlock against a concurrent Snapshot or Compact.
 func (th *Thread) Do(o *Object, op event.Op, fn func()) Stamped {
-	if th.t != o.t {
+	t := th.t
+	if t != o.t {
 		panic(fmt.Sprintf("track: thread %q and object %q belong to different trackers", th.name, o.name))
 	}
 	o.mu.Lock()
@@ -164,7 +246,9 @@ func (th *Thread) Do(o *Object, op event.Op, fn func()) Stamped {
 	if fn != nil {
 		fn()
 	}
-	return th.t.commit(th.id, o.id, op)
+	t.world.RLock()
+	defer t.world.RUnlock()
+	return t.commit(th, o, op)
 }
 
 // Write is shorthand for Do(o, event.OpWrite, fn).
@@ -173,51 +257,119 @@ func (th *Thread) Write(o *Object, fn func()) Stamped { return th.Do(o, event.Op
 // Read is shorthand for Do(o, event.OpRead, fn).
 func (th *Thread) Read(o *Object, fn func()) Stamped { return th.Do(o, event.OpRead, fn) }
 
-// commit records the event under the tracker lock. The trace order it
-// produces is a linearization of the happened-before order: the caller holds
-// the object lock, the calling goroutine serializes the thread, and this
-// lock serializes the rest.
-func (t *Tracker) commit(tid event.ThreadID, oid event.ObjectID, op event.Op) Stamped {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.cover.Reveal(tid, oid)
-	e := t.trace.Append(tid, oid, op)
-	v := t.clock.Timestamp(e)
-	if err := t.clock.Err(); err != nil && t.firstErr == nil {
+// commit applies the §III-C update rule and records the event. The caller
+// holds the object lock and the world read lock; the thread's clock needs no
+// lock (the calling goroutine owns it). The only cross-thread contention
+// left is the object stripe itself, the cover's read lock, and one atomic
+// increment.
+func (t *Tracker) commit(th *Thread, o *Object, op event.Op) Stamped {
+	cover := t.cover.Load()
+	thrIdx, objIdx, width := cover.Observe(th.id, o.id)
+
+	tv := th.clock
+	if tv == nil {
+		tv = core.NewBackendClock(t.backend)
+		th.clock = tv
+	}
+	if o.clock == nil {
+		o.clock = core.NewBackendClock(t.backend)
+	}
+	// The thread absorbs the object's last full clock, ticks the covered
+	// endpoints, and the object re-absorbs the result — the same
+	// core.UpdateRule the offline clock runs, only with the two clocks
+	// living in their own shards instead of one locked map. No copy of the
+	// object clock is taken at any point.
+	ticked := core.UpdateRule(tv, o.clock, thrIdx, objIdx, width)
+
+	idx := int(t.seq.Add(1)) - 1
+	e := event.Event{Index: idx, Thread: th.id, Object: o.id, Op: op}
+	if !ticked {
+		// The event's edge is not covered, which would indicate a tracker
+		// bug. Record the misuse for Err instead of panicking.
+		t.noteErr(fmt.Errorf("track: event %d %v not covered by components %v",
+			idx, e, cover.ComponentsString()))
+	}
+	v := tv.Flatten()
+	th.buf = append(th.buf, record{ev: e, v: v})
+	return Stamped{Event: e, Vector: v, Epoch: t.epoch}
+}
+
+// noteErr retains the first clock misuse.
+func (t *Tracker) noteErr(err error) {
+	t.errMu.Lock()
+	if t.firstErr == nil {
 		t.firstErr = err
 	}
-	t.stamps = append(t.stamps, v)
-	return Stamped{Event: e, Vector: v, Epoch: t.epoch}
+	t.errMu.Unlock()
+}
+
+// mergeLocked drains every thread's append buffer into the canonical trace,
+// in trace-index order. The caller holds the world write lock, so no commit
+// is in flight and the indices below seq are all present exactly once.
+func (t *Tracker) mergeLocked() {
+	t.reg.Lock()
+	var pending []record
+	for _, th := range t.threads {
+		if len(th.buf) > 0 {
+			pending = append(pending, th.buf...)
+			th.buf = th.buf[:0]
+		}
+	}
+	t.reg.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ev.Index < pending[j].ev.Index })
+	for _, r := range pending {
+		if got := t.trace.AppendEvent(r.ev); got.Index != r.ev.Index {
+			// Indices are dense by construction; a gap means lost records.
+			t.noteErr(fmt.Errorf("track: merge misaligned: event %v landed at trace index %d", r.ev, got.Index))
+		}
+		t.stamps = append(t.stamps, r.v)
+	}
 }
 
 // Backend returns the clock representation the tracker was built with.
 func (t *Tracker) Backend() vclock.Backend { return t.backend }
 
-// Size returns the current vector-clock size (number of components).
-func (t *Tracker) Size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.cover.Size()
-}
+// Size returns the current vector-clock size (number of components). The
+// atomic cover pointer makes this safe — and usable from inside a Do
+// callback — even while a concurrent Compact swaps the cover.
+func (t *Tracker) Size() int { return t.cover.Load().Size() }
 
 // Components returns the current component set as a copy.
-func (t *Tracker) Components() []core.Component {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.cover.Components().Components()
-}
+func (t *Tracker) Components() []core.Component { return t.cover.Load().Components() }
 
 // Events returns the number of recorded operations.
-func (t *Tracker) Events() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.trace.Len()
+func (t *Tracker) Events() int { return int(t.seq.Load()) }
+
+// Snapshot quiesces the tracker, merges all per-thread buffers, and returns
+// a copy of the recorded computation together with its timestamps (indexed
+// by event index). It is the cheapest way to get both consistently.
+func (t *Tracker) Snapshot() (*event.Trace, []vclock.Vector) {
+	t.world.Lock()
+	defer t.world.Unlock()
+	t.mergeLocked()
+	return t.traceCopyLocked(), t.stampsCopyLocked()
 }
 
 // Trace returns a copy of the recorded computation.
 func (t *Tracker) Trace() *event.Trace {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.world.Lock()
+	defer t.world.Unlock()
+	t.mergeLocked()
+	return t.traceCopyLocked()
+}
+
+// Stamps returns a copy of the recorded timestamps, indexed by event index.
+func (t *Tracker) Stamps() []vclock.Vector {
+	t.world.Lock()
+	defer t.world.Unlock()
+	t.mergeLocked()
+	return t.stampsCopyLocked()
+}
+
+func (t *Tracker) traceCopyLocked() *event.Trace {
 	out := event.NewTrace()
 	for i := 0; i < t.trace.Len(); i++ {
 		out.AppendEvent(t.trace.At(i))
@@ -225,10 +377,7 @@ func (t *Tracker) Trace() *event.Trace {
 	return out
 }
 
-// Stamps returns a copy of the recorded timestamps, indexed by event index.
-func (t *Tracker) Stamps() []vclock.Vector {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+func (t *Tracker) stampsCopyLocked() []vclock.Vector {
 	out := make([]vclock.Vector, len(t.stamps))
 	for i, v := range t.stamps {
 		out[i] = v.Clone()
@@ -240,10 +389,7 @@ func (t *Tracker) Stamps() []vclock.Vector {
 // in the tracker; always nil in correct operation. The first error from any
 // epoch is retained.
 func (t *Tracker) Err() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.firstErr != nil {
-		return t.firstErr
-	}
-	return t.clock.Err()
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.firstErr
 }

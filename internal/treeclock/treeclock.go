@@ -62,9 +62,10 @@ type TreeClock struct {
 	// the ticked component, so between events there is normally a single
 	// root: the component that ticked last.
 	roots []int32
-	// marks is scratch space for Join's two-phase update, retained across
-	// calls to avoid per-join allocation.
+	// marks and stack are scratch space for Join's two-phase update,
+	// retained across calls to avoid per-join allocation.
 	marks []mark
+	stack []frame
 }
 
 var _ vclock.Clock = (*TreeClock)(nil)
@@ -166,13 +167,7 @@ func (tc *TreeClock) Join(other vclock.Clock) {
 	// Phase 1: mark the nodes of o that beat tc, using tc's pre-join
 	// values throughout (the sibling break compares against what tc knew
 	// of the parent before this join).
-	marks := tc.marks[:0]
-	for _, r := range o.roots {
-		if o.clks[r] > tc.At(int(r)) {
-			marks = tc.mark(o, r, none, marks)
-		}
-	}
-	tc.marks = marks // retain scratch even on early return
+	marks := tc.mark(o)
 	if len(marks) == 0 {
 		return
 	}
@@ -212,22 +207,57 @@ type mark struct {
 	parent int32
 }
 
-// mark walks the subtree of o rooted at u (already known to beat tc),
-// appending marks in preorder. Children are scanned most-recent-first;
-// the scan stops early at a child attached no later than tc's pre-join
-// knowledge of u — every remaining sibling was attached earlier still, so
-// their subtrees were part of what tc already absorbed from u.
-func (tc *TreeClock) mark(o *TreeClock, u, parentIdx int32, marks []mark) []mark {
-	idx := int32(len(marks))
-	marks = append(marks, mark{comp: u, clk: o.clks[u], aclk: o.nodes[u].aclk, parent: parentIdx})
-	uKnown := tc.At(int(u))
-	for v := o.nodes[u].head; v != none; v = o.nodes[v].next {
-		if o.clks[v] > tc.At(int(v)) {
-			marks = tc.mark(o, v, idx, marks)
-		} else if o.nodes[v].aclk <= uKnown {
-			break
+// frame is one pending node of the iterative mark walk: a component of the
+// source forest known to beat the receiver, and the mark index of its
+// parent (none for source roots).
+type frame struct {
+	comp   int32
+	parent int32
+}
+
+// mark walks the beating parts of o's forest iteratively (an explicit stack
+// instead of recursion — join depth equals causal-chain depth, which can be
+// thousands on ping-pong workloads, and the explicit frames are cheaper
+// than call frames). Marks are appended in preorder: a node precedes its
+// subtree, siblings appear most-recent-first, exactly as the recursive walk
+// produced — Phase 2b's reverse-order attachment depends on that order to
+// preserve the aclk-descending sibling invariant.
+//
+// Children are scanned most-recent-first; the scan stops early at a child
+// attached no later than tc's pre-join knowledge of the parent — every
+// remaining sibling was attached earlier still, so their subtrees were part
+// of what tc already absorbed from the parent.
+func (tc *TreeClock) mark(o *TreeClock) []mark {
+	marks, stack := tc.marks[:0], tc.stack[:0]
+	// Seed the stack with beating roots, reversed so they pop — and hence
+	// appear in marks — in root-list order.
+	for i := len(o.roots) - 1; i >= 0; i-- {
+		if r := o.roots[i]; o.clks[r] > tc.At(int(r)) {
+			stack = append(stack, frame{comp: r, parent: none})
 		}
 	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		idx := int32(len(marks))
+		marks = append(marks, mark{comp: f.comp, clk: o.clks[f.comp], aclk: o.nodes[f.comp].aclk, parent: f.parent})
+		uKnown := tc.At(int(f.comp))
+		base := len(stack)
+		for v := o.nodes[f.comp].head; v != none; v = o.nodes[v].next {
+			if o.clks[v] > tc.At(int(v)) {
+				stack = append(stack, frame{comp: v, parent: idx})
+			} else if o.nodes[v].aclk <= uKnown {
+				break
+			}
+		}
+		// Reverse the children just pushed so they pop in sibling order
+		// (most recent first), keeping the preorder identical to the old
+		// recursive walk.
+		for i, j := base, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
+		}
+	}
+	tc.marks, tc.stack = marks, stack // retain scratch capacity
 	return marks
 }
 

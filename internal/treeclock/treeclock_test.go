@@ -301,3 +301,65 @@ func TestAppendBinaryMatchesFlat(t *testing.T) {
 		t.Fatalf("tree encoding %x, flat %x", got, want)
 	}
 }
+
+// TestJoinDeepChain drives the iterative mark walk through a forest that is
+// one path tens of thousands of nodes deep — the shape a long ping-pong
+// causal chain produces. The recursive walk this replaced would have needed
+// one call frame per node; the explicit stack must handle it and produce
+// the exact componentwise maximum.
+func TestJoinDeepChain(t *testing.T) {
+	const depth = 100_000
+	src := New(depth)
+	// Ticking 0, 1, ..., depth-1 re-roots the forest at each step, so the
+	// final shape is the path depth-1 → depth-2 → ... → 0. A second tick
+	// per component raises every value to 2 without changing the shape.
+	for i := 0; i < depth; i++ {
+		src.Tick(i)
+		src.Tick(i)
+	}
+	dst := New(0)
+	dst.Tick(0) // at 1 < src's 2: must be detached from the roots and re-homed
+	dst.Join(src)
+	if err := checkInvariants(dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < depth; i++ {
+		if got := dst.At(i); got != 2 {
+			t.Fatalf("component %d = %d, want 2", i, got)
+		}
+	}
+	// A second join is fully dominated: the root-level prune must keep the
+	// walk from marking anything.
+	dst.Join(src)
+	if len(dst.marks) != 0 {
+		t.Fatalf("dominated join still marked %d nodes", len(dst.marks))
+	}
+	if err := checkInvariants(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarkPreorderSiblingOrder regression-tests the property the iterative
+// walk must preserve from the recursive one: after a join copies several
+// siblings, the receiver's sibling lists remain ordered by attachment time,
+// most recent first (checkInvariants asserts exactly that), across a shape
+// with wide fan-out at several levels.
+func TestMarkPreorderSiblingOrder(t *testing.T) {
+	src := New(0)
+	// Build a two-level fan: components 1..8 tick then attach under 0 via
+	// 0's ticks; each join re-roots, so interleave to create siblings.
+	for i := 1; i <= 8; i++ {
+		leaf := New(0)
+		leaf.Tick(i)
+		src.Join(leaf)
+		src.Tick(0) // re-root under 0: i becomes 0's most recent child
+	}
+	dst := New(0)
+	dst.Join(src)
+	if err := checkInvariants(dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Flatten().Equal(src.Flatten()) {
+		t.Fatalf("flatten mismatch: %v vs %v", dst.Flatten(), src.Flatten())
+	}
+}

@@ -76,8 +76,13 @@ func TestFacadeTracker(t *testing.T) {
 	if tracker.Events() != 20 {
 		t.Fatalf("Events = %d, want 20", tracker.Events())
 	}
-	if err := mixedclock.Validate(tracker.Trace(), tracker.Stamps(), "tracker"); err != nil {
+	trace, stamps := tracker.Snapshot()
+	if err := mixedclock.Validate(trace, stamps, "tracker"); err != nil {
 		t.Fatal(err)
+	}
+	// The one-barrier Snapshot and the individual accessors must agree.
+	if trace.Len() != tracker.Trace().Len() || len(stamps) != len(tracker.Stamps()) {
+		t.Fatal("Snapshot disagrees with Trace/Stamps")
 	}
 	// Everything funnels through one object. Popularity's tie-break picks
 	// the first thread before the object becomes popular, so the size is 2:
