@@ -436,6 +436,70 @@ func BenchmarkTrackerParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkStamp measures the Thread.Do hot path in isolation — ns/op and,
+// with -benchmem, allocs/op and B/op — across clock widths and both
+// backends. The delta stamping pipeline's contract is that both memory
+// figures stay flat as k grows (allocs/op ≲ 1 amortized at every width; no
+// O(k) flatten per event). Two shapes bracket the commit paths:
+//
+//   - same-object: a thread re-acquiring one object — the version-cache
+//     fast path, O(1) at any width;
+//   - alternate: a thread bouncing between two objects — the full
+//     update-rule path, where flat pays an O(k) scan (but no allocation)
+//     and tree pays only for what changed.
+//
+// CI's benchmark-regression gate runs this with -benchmem, so the
+// allocation wins are locked in alongside the time.
+func BenchmarkStamp(b *testing.B) {
+	shapes := []string{"same-object", "alternate"}
+	for _, shape := range shapes {
+		for _, k := range []int{16, 256, 1024} {
+			for _, backend := range []mixedclock.Backend{mixedclock.Flat, mixedclock.Tree} {
+				name := fmt.Sprintf("%s/%v/k=%d", shape, backend, k)
+				b.Run(name, func(b *testing.B) {
+					var th *mixedclock.Thread
+					var objs []*mixedclock.Object
+					// build widens the cover to ~k components (one per
+					// private thread-object edge), then registers the hot
+					// thread and its objects.
+					build := func() {
+						tracker := mixedclock.NewTracker(mixedclock.WithBackend(backend))
+						for i := 0; i < k; i++ {
+							tracker.NewThread("w").Write(tracker.NewObject("p"), nil)
+						}
+						th = tracker.NewThread("hot")
+						objs = objs[:0]
+						for i := 0; i < 2; i++ {
+							o := tracker.NewObject("hot")
+							th.Write(o, nil) // reveal the edge outside the timer
+							objs = append(objs, o)
+						}
+					}
+					build()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						// Rebuild periodically (outside the timer) so the
+						// record buffers don't grow without bound at large
+						// b.N; the measured ops always run against a warm
+						// tracker.
+						if i > 0 && i%(1<<18) == 0 {
+							b.StopTimer()
+							build()
+							b.StartTimer()
+						}
+						o := objs[0]
+						if shape == "alternate" {
+							o = objs[i%2]
+						}
+						th.Write(o, nil)
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkGreedyVsOptimalCover times the greedy cover heuristic against
 // the exact algorithm (quality is compared in experiment.GreedyVsOptimal).
 func BenchmarkGreedyVsOptimalCover(b *testing.B) {

@@ -1,18 +1,24 @@
 // Benchdiff is the CI benchmark-regression gate: it parses two `go test
 // -bench` output files (base and head), takes the per-benchmark minimum of
-// the ns/op samples (robust to the one-sided noise of shared CI runners),
-// writes the comparison as JSON, and exits nonzero when any benchmark
-// present in both runs slowed down by more than the threshold.
+// each metric's samples (robust to the one-sided noise of shared CI
+// runners), writes the comparison as JSON, and exits nonzero when any
+// benchmark present in both runs regressed by more than the threshold on
+// any gated metric — ns/op, B/op or allocs/op (the latter two appear when
+// the run passes -benchmem).
 //
-//	go test -bench 'Backends|TrackerParallel' -count=6 > head.txt   # on PR
-//	git checkout $BASE && go test -bench ... > base.txt             # on base
+//	go test -bench 'Backends|TrackerParallel|Stamp' -benchmem -count=6 > head.txt
+//	git checkout $BASE && go test -bench ... > base.txt
 //	go run ./cmd/benchdiff -base base.txt -head head.txt \
 //	    -json BENCH_pr.json -threshold-pct 20
 //
-// Benchmarks that exist only in one run are reported but never gate (new
-// benchmarks have no baseline; deleted ones have no head). benchdiff
-// complements benchstat: benchstat gives the statistician's view, benchdiff
-// gives a deterministic threshold and a machine-readable artifact.
+// Benchmarks or metrics that exist only in one run are reported but never
+// gate (new benchmarks have no baseline; deleted ones have no head), with
+// one exception: allocs/op or B/op going from zero to nonzero is always a
+// regression — an allocation-free hot path that starts allocating has lost
+// exactly the property the gate exists to protect, and no ratio can express
+// it. benchdiff complements benchstat: benchstat gives the statistician's
+// view, benchdiff gives a deterministic threshold and a machine-readable
+// artifact.
 package main
 
 import (
@@ -26,26 +32,39 @@ import (
 	"strings"
 )
 
+// gatedUnits are the metrics the gate inspects, in report order. Other
+// units on a result line (custom b.ReportMetric series like ns/event) are
+// ignored: they are derived views of the gated ones.
+var gatedUnits = []string{"ns/op", "B/op", "allocs/op"}
+
 // Sample is the aggregate of one benchmark's runs within a single file.
-// The gate compares minima: ns/op noise on shared CI runners is one-sided
-// (noisy neighbours only ever slow a run down), so the min of -count runs
-// is the most stable estimate of true cost. The mean is kept for context.
+// The gate compares minima: noise on shared CI runners is one-sided (noisy
+// neighbours only ever slow a run down or fragment its memory), so the min
+// of -count runs is the most stable estimate of true cost. Means are kept
+// for context.
 type Sample struct {
-	Name   string  `json:"name"`
-	Count  int     `json:"count"`
-	MinNs  float64 `json:"min_ns_per_op"`
-	MeanNs float64 `json:"mean_ns_per_op"`
+	Name  string
+	Count int
+	Min   map[string]float64
+	Mean  map[string]float64
 }
 
-// Comparison is one benchmark's base-vs-head entry in the JSON artifact.
-// The ns/op figures are per-file minima (see Sample).
-type Comparison struct {
-	Name     string   `json:"name"`
-	BaseNsOp *float64 `json:"base_ns_per_op,omitempty"`
-	HeadNsOp *float64 `json:"head_ns_per_op,omitempty"`
-	// DeltaPct is (head-base)/base*100; positive means head is slower.
+// MetricDelta is one metric's base-vs-head entry. The figures are per-file
+// minima (see Sample).
+type MetricDelta struct {
+	Unit string   `json:"unit"`
+	Base *float64 `json:"base,omitempty"`
+	Head *float64 `json:"head,omitempty"`
+	// DeltaPct is (head-base)/base*100; positive means head is worse.
 	DeltaPct   *float64 `json:"delta_pct,omitempty"`
 	Regression bool     `json:"regression"`
+}
+
+// Comparison is one benchmark's entry in the JSON artifact.
+type Comparison struct {
+	Name       string        `json:"name"`
+	Metrics    []MetricDelta `json:"metrics"`
+	Regression bool          `json:"regression"`
 }
 
 // Report is the full JSON artifact.
@@ -55,9 +74,10 @@ type Report struct {
 	Benchmarks   []Comparison `json:"benchmarks"`
 }
 
-// parseBenchFile reads `go test -bench` output, collecting ns/op samples per
-// benchmark name. The GOMAXPROCS suffix (-8 etc.) is kept: it is part of the
-// benchmark's identity, and base and head run on the same machine in CI.
+// parseBenchFile reads `go test -bench` output, collecting per-metric
+// samples per benchmark name. The GOMAXPROCS suffix (-8 etc.) is kept: it
+// is part of the benchmark's identity, and base and head run on the same
+// machine in CI.
 func parseBenchFile(path string) (map[string]*Sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -68,49 +88,69 @@ func parseBenchFile(path string) (map[string]*Sample, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		ns, name, ok := parseBenchLine(sc.Text())
+		metrics, name, ok := parseBenchLine(sc.Text())
 		if !ok {
 			continue
 		}
 		s := out[name]
 		if s == nil {
-			s = &Sample{Name: name, MinNs: ns}
+			s = &Sample{Name: name, Min: map[string]float64{}, Mean: map[string]float64{}}
 			out[name] = s
 		}
-		if ns < s.MinNs {
-			s.MinNs = ns
-		}
-		// Running mean keeps the math overflow-safe for any count.
 		s.Count++
-		s.MeanNs += (ns - s.MeanNs) / float64(s.Count)
+		for unit, v := range metrics {
+			if prev, seen := s.Min[unit]; !seen || v < prev {
+				s.Min[unit] = v
+			}
+			// Running mean keeps the math overflow-safe for any count.
+			// Metrics are assumed present on every line of a benchmark
+			// (true for go test output within one file).
+			s.Mean[unit] += (v - s.Mean[unit]) / float64(s.Count)
+		}
 	}
 	return out, sc.Err()
 }
 
-// parseBenchLine extracts (ns/op, name) from one benchmark result line, or
-// reports ok=false for any other line (headers, PASS, metrics-only lines).
-func parseBenchLine(line string) (ns float64, name string, ok bool) {
+// parseBenchLine extracts the gated metrics from one benchmark result line,
+// or reports ok=false for any other line (headers, PASS, metrics-only
+// lines). A result line must at least carry ns/op.
+func parseBenchLine(line string) (metrics map[string]float64, name string, ok bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return 0, "", false
+		return nil, "", false
 	}
 	if _, err := strconv.Atoi(fields[1]); err != nil {
-		return 0, "", false // iterations column missing: not a result line
+		return nil, "", false // iterations column missing: not a result line
 	}
 	for i := 2; i+1 < len(fields); i += 2 {
-		if fields[i+1] == "ns/op" {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return 0, "", false
+		unit := fields[i+1]
+		gated := false
+		for _, u := range gatedUnits {
+			if unit == u {
+				gated = true
+				break
 			}
-			return v, fields[0], true
 		}
+		if !gated {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, "", false
+		}
+		if metrics == nil {
+			metrics = make(map[string]float64, len(gatedUnits))
+		}
+		metrics[unit] = v
 	}
-	return 0, "", false
+	if _, has := metrics["ns/op"]; !has {
+		return nil, "", false
+	}
+	return metrics, fields[0], true
 }
 
 // compare joins base and head samples into the report, flagging regressions
-// beyond thresholdPct.
+// beyond thresholdPct on any gated metric.
 func compare(base, head map[string]*Sample, thresholdPct float64) Report {
 	names := make(map[string]bool)
 	for n := range base {
@@ -129,25 +169,86 @@ func compare(base, head map[string]*Sample, thresholdPct float64) Report {
 	for _, n := range sorted {
 		c := Comparison{Name: n}
 		b, h := base[n], head[n]
-		if b != nil {
-			v := b.MinNs
-			c.BaseNsOp = &v
-		}
-		if h != nil {
-			v := h.MinNs
-			c.HeadNsOp = &v
-		}
-		if b != nil && h != nil && b.MinNs > 0 {
-			d := (h.MinNs - b.MinNs) / b.MinNs * 100
-			c.DeltaPct = &d
-			if d > thresholdPct {
-				c.Regression = true
-				rep.Regressions++
+		for _, unit := range gatedUnits {
+			var m MetricDelta
+			m.Unit = unit
+			var bv, hv float64
+			var bok, hok bool
+			if b != nil {
+				bv, bok = b.Min[unit]
 			}
+			if h != nil {
+				hv, hok = h.Min[unit]
+			}
+			if bok {
+				v := bv
+				m.Base = &v
+			}
+			if hok {
+				v := hv
+				m.Head = &v
+			}
+			if bok && hok {
+				switch {
+				case bv > 0:
+					d := (hv - bv) / bv * 100
+					m.DeltaPct = &d
+					m.Regression = d > thresholdPct
+				case unit != "ns/op" && hv >= 1:
+					// Zero-base memory metrics have no ratio; going from
+					// an allocation-free op to an allocating one is the
+					// regression this gate most wants to catch. B/op is
+					// checked too: amortized allocations can round
+					// allocs/op down to 0 while still costing bytes.
+					m.Regression = true
+				}
+			}
+			if m.Base == nil && m.Head == nil {
+				continue // metric absent on both sides (e.g. no -benchmem)
+			}
+			if m.Regression {
+				c.Regression = true
+			}
+			c.Metrics = append(c.Metrics, m)
+		}
+		if c.Regression {
+			rep.Regressions++
 		}
 		rep.Benchmarks = append(rep.Benchmarks, c)
 	}
 	return rep
+}
+
+// describe renders one comparison as a report line.
+func describe(c Comparison) string {
+	var b strings.Builder
+	flag := " "
+	if c.Regression {
+		flag = "!"
+	}
+	fmt.Fprintf(&b, "%s %-60s", flag, c.Name)
+	if len(c.Metrics) == 0 {
+		return b.String()
+	}
+	for i, m := range c.Metrics {
+		if i > 0 {
+			b.WriteString("  |")
+		}
+		switch {
+		case m.Base != nil && m.Head != nil:
+			fmt.Fprintf(&b, " %12.1f → %12.1f %s", *m.Base, *m.Head, m.Unit)
+			if m.DeltaPct != nil {
+				fmt.Fprintf(&b, " %+6.1f%%", *m.DeltaPct)
+			} else if m.Regression {
+				b.WriteString(" (0 → alloc)")
+			}
+		case m.Head != nil:
+			fmt.Fprintf(&b, " %12.1f %s (new)", *m.Head, m.Unit)
+		default:
+			fmt.Fprintf(&b, " %s (gone)", m.Unit)
+		}
+	}
+	return b.String()
 }
 
 func run(basePath, headPath, jsonPath string, thresholdPct float64, stdout *os.File) (int, error) {
@@ -171,22 +272,10 @@ func run(basePath, headPath, jsonPath string, thresholdPct float64, stdout *os.F
 		}
 	}
 	for _, c := range rep.Benchmarks {
-		switch {
-		case c.DeltaPct != nil:
-			flag := " "
-			if c.Regression {
-				flag = "!"
-			}
-			fmt.Fprintf(stdout, "%s %-60s %12.1f → %12.1f ns/op  %+6.1f%%\n",
-				flag, c.Name, *c.BaseNsOp, *c.HeadNsOp, *c.DeltaPct)
-		case c.HeadNsOp != nil:
-			fmt.Fprintf(stdout, "+ %-60s %27.1f ns/op  (new)\n", c.Name, *c.HeadNsOp)
-		default:
-			fmt.Fprintf(stdout, "- %-60s (gone)\n", c.Name)
-		}
+		fmt.Fprintln(stdout, describe(c))
 	}
 	if rep.Regressions > 0 {
-		fmt.Fprintf(stdout, "\nFAIL: %d benchmark(s) regressed more than %.0f%%\n", rep.Regressions, thresholdPct)
+		fmt.Fprintf(stdout, "\nFAIL: %d benchmark(s) regressed more than %.0f%% (ns/op, B/op or allocs/op)\n", rep.Regressions, thresholdPct)
 		return 1, nil
 	}
 	fmt.Fprintf(stdout, "\nOK: no benchmark regressed more than %.0f%%\n", thresholdPct)
@@ -197,7 +286,7 @@ func main() {
 	basePath := flag.String("base", "", "bench output of the base commit")
 	headPath := flag.String("head", "", "bench output of the head commit")
 	jsonPath := flag.String("json", "", "write the comparison as JSON to this path")
-	threshold := flag.Float64("threshold-pct", 20, "fail when ns/op grows by more than this percent")
+	threshold := flag.Float64("threshold-pct", 20, "fail when ns/op, B/op or allocs/op grows by more than this percent")
 	flag.Parse()
 	if *basePath == "" || *headPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff -base base.txt -head head.txt [-json out.json] [-threshold-pct 20]")

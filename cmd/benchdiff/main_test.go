@@ -9,24 +9,38 @@ import (
 
 func TestParseBenchLine(t *testing.T) {
 	tests := []struct {
-		line string
-		ns   float64
-		name string
-		ok   bool
+		line    string
+		metrics map[string]float64
+		name    string
+		ok      bool
 	}{
-		{"BenchmarkTracker/objects=16-8   \t 1488769\t       396.2 ns/op", 396.2, "BenchmarkTracker/objects=16-8", true},
-		{"BenchmarkBackends/deep-join/flat-8  100  1234 ns/op  257 components  5.2 ns/event", 1234, "BenchmarkBackends/deep-join/flat-8", true},
-		{"BenchmarkX-8  200  88 ns/op  12 B/op  3 allocs/op", 88, "BenchmarkX-8", true},
-		{"goos: linux", 0, "", false},
-		{"PASS", 0, "", false},
-		{"ok  \tmixedclock\t2.4s", 0, "", false},
-		{"BenchmarkNoIters ns/op garbage", 0, "", false},
+		{"BenchmarkTracker/objects=16-8   \t 1488769\t       396.2 ns/op",
+			map[string]float64{"ns/op": 396.2}, "BenchmarkTracker/objects=16-8", true},
+		{"BenchmarkBackends/deep-join/flat-8  100  1234 ns/op  257 components  5.2 ns/event",
+			map[string]float64{"ns/op": 1234}, "BenchmarkBackends/deep-join/flat-8", true},
+		{"BenchmarkX-8  200  88 ns/op  12 B/op  3 allocs/op",
+			map[string]float64{"ns/op": 88, "B/op": 12, "allocs/op": 3}, "BenchmarkX-8", true},
+		{"goos: linux", nil, "", false},
+		{"PASS", nil, "", false},
+		{"ok  \tmixedclock\t2.4s", nil, "", false},
+		{"BenchmarkNoIters ns/op garbage", nil, "", false},
+		{"BenchmarkOnlyMem-8  100  12 B/op  3 allocs/op", nil, "", false}, // no ns/op: not a result line
 	}
 	for _, tt := range tests {
-		ns, name, ok := parseBenchLine(tt.line)
-		if ok != tt.ok || name != tt.name || ns != tt.ns {
+		metrics, name, ok := parseBenchLine(tt.line)
+		if ok != tt.ok || name != tt.name {
 			t.Errorf("parseBenchLine(%q) = (%v, %q, %v), want (%v, %q, %v)",
-				tt.line, ns, name, ok, tt.ns, tt.name, tt.ok)
+				tt.line, metrics, name, ok, tt.metrics, tt.name, tt.ok)
+			continue
+		}
+		if len(metrics) != len(tt.metrics) {
+			t.Errorf("parseBenchLine(%q) metrics = %v, want %v", tt.line, metrics, tt.metrics)
+			continue
+		}
+		for unit, v := range tt.metrics {
+			if metrics[unit] != v {
+				t.Errorf("parseBenchLine(%q) %s = %v, want %v", tt.line, unit, metrics[unit], v)
+			}
 		}
 	}
 }
@@ -42,57 +56,99 @@ func writeTemp(t *testing.T, name, content string) string {
 
 func TestCountAggregation(t *testing.T) {
 	p := writeTemp(t, "b.txt", `
-BenchmarkA-8  100  150 ns/op
-BenchmarkA-8  100  100 ns/op
-BenchmarkA-8  100  350 ns/op
+BenchmarkA-8  100  150 ns/op  64 B/op  2 allocs/op
+BenchmarkA-8  100  100 ns/op  80 B/op  2 allocs/op
+BenchmarkA-8  100  350 ns/op  64 B/op  3 allocs/op
 `)
 	got, err := parseBenchFile(p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := got["BenchmarkA-8"]
-	if s == nil || s.Count != 3 || s.MinNs != 100 || s.MeanNs != 200 {
-		t.Fatalf("sample = %+v, want count 3 min 100 mean 200", s)
+	if s == nil || s.Count != 3 {
+		t.Fatalf("sample = %+v, want count 3", s)
 	}
+	if s.Min["ns/op"] != 100 || s.Mean["ns/op"] != 200 {
+		t.Fatalf("ns/op min %v mean %v, want 100/200", s.Min["ns/op"], s.Mean["ns/op"])
+	}
+	if s.Min["B/op"] != 64 || s.Min["allocs/op"] != 2 {
+		t.Fatalf("memory minima = %v / %v, want 64 / 2", s.Min["B/op"], s.Min["allocs/op"])
+	}
+}
+
+// mkSample builds a one-run Sample from per-unit values.
+func mkSample(name string, metrics map[string]float64) *Sample {
+	min := make(map[string]float64, len(metrics))
+	mean := make(map[string]float64, len(metrics))
+	for u, v := range metrics {
+		min[u], mean[u] = v, v
+	}
+	return &Sample{Name: name, Count: 1, Min: min, Mean: mean}
 }
 
 func TestCompareGatesOnThreshold(t *testing.T) {
 	base := map[string]*Sample{
-		"BenchmarkSlower-8": {Name: "BenchmarkSlower-8", Count: 1, MinNs: 100, MeanNs: 100},
-		"BenchmarkSame-8":   {Name: "BenchmarkSame-8", Count: 1, MinNs: 100, MeanNs: 100},
-		"BenchmarkGone-8":   {Name: "BenchmarkGone-8", Count: 1, MinNs: 50, MeanNs: 50},
+		"BenchmarkSlower-8": mkSample("BenchmarkSlower-8", map[string]float64{"ns/op": 100}),
+		"BenchmarkSame-8":   mkSample("BenchmarkSame-8", map[string]float64{"ns/op": 100}),
+		"BenchmarkGone-8":   mkSample("BenchmarkGone-8", map[string]float64{"ns/op": 50}),
+		"BenchmarkMem-8":    mkSample("BenchmarkMem-8", map[string]float64{"ns/op": 100, "B/op": 100, "allocs/op": 10}),
+		"BenchmarkAlloc0-8": mkSample("BenchmarkAlloc0-8", map[string]float64{"ns/op": 100, "B/op": 0, "allocs/op": 0}),
 	}
 	head := map[string]*Sample{
-		"BenchmarkSlower-8": {Name: "BenchmarkSlower-8", Count: 1, MinNs: 121, MeanNs: 121},
-		"BenchmarkSame-8":   {Name: "BenchmarkSame-8", Count: 1, MinNs: 119, MeanNs: 119},
-		"BenchmarkNew-8":    {Name: "BenchmarkNew-8", Count: 1, MinNs: 10, MeanNs: 10},
+		"BenchmarkSlower-8": mkSample("BenchmarkSlower-8", map[string]float64{"ns/op": 121}),
+		"BenchmarkSame-8":   mkSample("BenchmarkSame-8", map[string]float64{"ns/op": 119}),
+		"BenchmarkNew-8":    mkSample("BenchmarkNew-8", map[string]float64{"ns/op": 10}),
+		// Faster but allocating more: must gate on the memory axis.
+		"BenchmarkMem-8": mkSample("BenchmarkMem-8", map[string]float64{"ns/op": 80, "B/op": 130, "allocs/op": 10}),
+		// Was allocation-free, now allocates: gated despite no ratio.
+		"BenchmarkAlloc0-8": mkSample("BenchmarkAlloc0-8", map[string]float64{"ns/op": 100, "B/op": 16, "allocs/op": 1}),
 	}
+	// Amortized allocation: allocs/op rounds down to 0 but B/op shows the
+	// bytes — must still gate on the B/op axis.
+	base["BenchmarkAmort-8"] = mkSample("BenchmarkAmort-8", map[string]float64{"ns/op": 100, "B/op": 0, "allocs/op": 0})
+	head["BenchmarkAmort-8"] = mkSample("BenchmarkAmort-8", map[string]float64{"ns/op": 100, "B/op": 4, "allocs/op": 0})
 	rep := compare(base, head, 20)
-	if rep.Regressions != 1 {
-		t.Fatalf("regressions = %d, want 1", rep.Regressions)
+	if rep.Regressions != 4 {
+		t.Fatalf("regressions = %d, want 4", rep.Regressions)
+	}
+	for _, c := range rep.Benchmarks {
+		if c.Name == "BenchmarkAmort-8" && !c.Regression {
+			t.Error("0 → 4 B/op with 0 allocs/op not flagged")
+		}
 	}
 	byName := map[string]Comparison{}
 	for _, c := range rep.Benchmarks {
 		byName[c.Name] = c
 	}
 	if !byName["BenchmarkSlower-8"].Regression {
-		t.Error("21% slowdown not flagged at 20% threshold")
+		t.Error("21% ns/op slowdown not flagged at 20% threshold")
 	}
 	if byName["BenchmarkSame-8"].Regression {
 		t.Error("19% slowdown flagged at 20% threshold")
 	}
-	if byName["BenchmarkNew-8"].Regression || byName["BenchmarkNew-8"].DeltaPct != nil {
+	if !byName["BenchmarkMem-8"].Regression {
+		t.Error("30% B/op growth not flagged")
+	}
+	if !byName["BenchmarkAlloc0-8"].Regression {
+		t.Error("0 → 1 allocs/op not flagged")
+	}
+	if byName["BenchmarkNew-8"].Regression {
 		t.Error("benchmark without baseline must not gate")
 	}
-	if byName["BenchmarkGone-8"].Regression || byName["BenchmarkGone-8"].HeadNsOp != nil {
+	if byName["BenchmarkGone-8"].Regression {
 		t.Error("deleted benchmark must not gate")
+	}
+	for _, m := range byName["BenchmarkNew-8"].Metrics {
+		if m.DeltaPct != nil {
+			t.Error("benchmark without baseline must have no delta")
+		}
 	}
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	base := writeTemp(t, "base.txt", "BenchmarkA-8  100  100 ns/op\n")
-	headOK := writeTemp(t, "head_ok.txt", "BenchmarkA-8  100  105 ns/op\nBenchmarkB-8  10  7 ns/op\n")
-	headBad := writeTemp(t, "head_bad.txt", "BenchmarkA-8  100  150 ns/op\n")
+	base := writeTemp(t, "base.txt", "BenchmarkA-8  100  100 ns/op  32 B/op  1 allocs/op\n")
+	headOK := writeTemp(t, "head_ok.txt", "BenchmarkA-8  100  105 ns/op  32 B/op  1 allocs/op\nBenchmarkB-8  10  7 ns/op\n")
+	headBad := writeTemp(t, "head_bad.txt", "BenchmarkA-8  100  90 ns/op  64 B/op  9 allocs/op\n")
 	jsonOut := filepath.Join(t.TempDir(), "BENCH_pr.json")
 
 	code, err := run(base, headOK, jsonOut, 20, os.Stdout)
@@ -103,12 +159,13 @@ func TestRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"threshold_pct": 20`, `"BenchmarkA-8"`, `"BenchmarkB-8"`, `"regressions": 0`} {
+	for _, want := range []string{`"threshold_pct": 20`, `"BenchmarkA-8"`, `"BenchmarkB-8"`, `"regressions": 0`, `"unit": "allocs/op"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("artifact missing %q:\n%s", want, data)
 		}
 	}
 
+	// Memory regression with a ns/op improvement still fails the gate.
 	code, err = run(base, headBad, "", 20, os.Stdout)
 	if err != nil || code != 1 {
 		t.Fatalf("regression case: code %d, err %v (want 1, nil)", code, err)

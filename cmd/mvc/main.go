@@ -9,16 +9,23 @@
 //	mvc recover   [-trace FILE] -fail K    recovery line excluding event K's causal future
 //	mvc validate  [-trace FILE]            prove every clock scheme valid on this trace
 //	mvc graph     [-trace FILE]            Graphviz DOT with the minimum cover filled
-//	mvc export    [-trace FILE] -out LOG   timestamp and write a binary .mvclog
-//	mvc inspect   -log LOG [-n N]          read a binary log (tolerates truncation)
+//	mvc export    [-trace FILE] -out LOG [-format full|delta]
+//	                                       timestamp and write a binary .mvclog
+//	mvc inspect   -log LOG [-n N]          read a binary log, either format
+//	                                       (tolerates truncation)
 //
 // Traces are JSON Lines as produced by tracegen (one {"i","t","o","op"}
 // object per line); -trace defaults to stdin.
 //
-// Commands that timestamp events accept -backend {flat|tree} to pick the
-// clock representation: flat (default) is the reference vector, tree is the
-// Mathur et al. tree clock whose joins skip already-dominated subtrees.
-// Timestamps are identical either way; only the cost profile changes.
+// Commands that timestamp events accept -backend {flat|tree|auto} to pick
+// the clock representation: flat (default) is the reference vector, tree is
+// the Mathur et al. tree clock whose joins skip already-dominated subtrees,
+// and auto picks one from the analyzed computation's width and join shape.
+// Timestamps are identical in every case; only the cost profile changes.
+//
+// export's -format=delta writes the delta-encoded log: per-thread changed
+// components instead of full vectors, streamed straight from the clock's
+// change capture. inspect auto-detects the format from the header.
 package main
 
 import (
@@ -52,7 +59,8 @@ func main() {
 	fail := fs.Int("fail", -1, "recover: failed event index")
 	out := fs.String("out", "", "export: output .mvclog path")
 	logPath := fs.String("log", "", "inspect: input .mvclog path")
-	backendName := fs.String("backend", "flat", "clock representation: flat or tree")
+	backendName := fs.String("backend", "flat", "clock representation: flat, tree or auto")
+	format := fs.String("format", "full", "export: log encoding, full or delta")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -90,7 +98,7 @@ func main() {
 	case "graph":
 		err = graph(os.Stdout, tr)
 	case "export":
-		err = export(os.Stdout, tr, *out, backend)
+		err = export(os.Stdout, tr, *out, backend, *format)
 	default:
 		usage()
 		os.Exit(2)
@@ -259,27 +267,59 @@ func graph(w io.Writer, tr *event.Trace) error {
 }
 
 // export timestamps the trace with the optimal mixed clock and writes the
-// binary log.
-func export(w io.Writer, tr *event.Trace, out string, b vclock.Backend) error {
+// binary log. The delta format streams the clock's change capture straight
+// into the writer — no full vector is materialized per event on the way to
+// disk.
+func export(w io.Writer, tr *event.Trace, out string, b vclock.Backend, format string) error {
 	if out == "" {
 		return fmt.Errorf("export needs -out")
 	}
+	if format != "full" && format != "delta" {
+		return fmt.Errorf("export: unknown -format %q (want full or delta)", format)
+	}
 	a := core.AnalyzeTrace(tr)
 	mc := a.NewClockBackend(b)
-	stamps := clock.Run(tr, mc)
-	if err := mc.Err(); err != nil {
-		return err
+	var stamps []vclock.Vector
+	if format == "full" {
+		// Timestamp before touching the filesystem, so a clock error
+		// leaves no file behind (and clobbers nothing).
+		stamps = clock.Run(tr, mc)
+		if err := mc.Err(); err != nil {
+			return err
+		}
 	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := tlog.WriteAll(f, tr, stamps); err != nil {
+	write := func() error {
+		if format == "full" {
+			return tlog.WriteAll(f, tr, stamps)
+		}
+		lw := tlog.NewDeltaWriter(f)
+		var scratch []vclock.Delta
+		for i := 0; i < tr.Len(); i++ {
+			scratch, _ = mc.TimestampDelta(tr.At(i), scratch[:0])
+			if err := lw.AppendDelta(tr.At(i), scratch); err != nil {
+				return err
+			}
+		}
+		if err := mc.Err(); err != nil {
+			return err
+		}
+		return lw.Flush()
+	}
+	if err := write(); err != nil {
+		// The delta path streams as it timestamps, so an error can leave a
+		// partial log; don't leave it lying around to be mistaken for a
+		// good one.
+		f.Close()
+		os.Remove(out)
 		return err
 	}
-	fmt.Fprintf(w, "wrote %d timestamped events (%d components) to %s\n",
-		tr.Len(), a.VectorSize(), out)
+	fmt.Fprintf(w, "wrote %d timestamped events (%d components, %s format) to %s\n",
+		tr.Len(), a.VectorSize(), format, out)
 	return nil
 }
 

@@ -170,7 +170,7 @@ func TestExportInspectRoundTrip(t *testing.T) {
 	_, tr := writeTempTrace(t)
 	logPath := filepath.Join(t.TempDir(), "t.mvclog")
 	var buf bytes.Buffer
-	if err := export(&buf, tr, logPath, vclock.BackendFlat); err != nil {
+	if err := export(&buf, tr, logPath, vclock.BackendFlat, "full"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "wrote 5 timestamped events") {
@@ -184,11 +184,44 @@ func TestExportInspectRoundTrip(t *testing.T) {
 		t.Errorf("inspect output: %s", buf.String())
 	}
 
-	if err := export(&buf, tr, "", vclock.BackendFlat); err == nil {
+	if err := export(&buf, tr, "", vclock.BackendFlat, "full"); err == nil {
 		t.Error("export without -out accepted")
 	}
 	if err := inspect(&buf, "", 0); err == nil {
 		t.Error("inspect without -log accepted")
+	}
+}
+
+func TestExportDeltaInspectRoundTrip(t *testing.T) {
+	_, tr := writeTempTrace(t)
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "full.mvclog")
+	deltaPath := filepath.Join(dir, "delta.mvclog")
+	var buf bytes.Buffer
+	if err := export(&buf, tr, fullPath, vclock.BackendFlat, "full"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := export(&buf, tr, deltaPath, vclock.BackendAuto, "delta"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "delta format") {
+		t.Errorf("export output: %s", buf.String())
+	}
+	// inspect auto-detects the format; both logs validate and print the
+	// same stamps.
+	var fullOut, deltaOut bytes.Buffer
+	if err := inspect(&fullOut, fullPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspect(&deltaOut, deltaPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fullOut.String() != deltaOut.String() {
+		t.Errorf("formats decode differently:\nfull:\n%s\ndelta:\n%s", fullOut.String(), deltaOut.String())
+	}
+	if err := export(&buf, tr, deltaPath, vclock.BackendFlat, "cbor"); err == nil {
+		t.Error("unknown format accepted")
 	}
 }
 
@@ -197,7 +230,7 @@ func TestInspectTruncatedLog(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "t.mvclog")
 	var buf bytes.Buffer
-	if err := export(&buf, tr, logPath, vclock.BackendFlat); err != nil {
+	if err := export(&buf, tr, logPath, vclock.BackendFlat, "full"); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(logPath)

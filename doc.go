@@ -51,14 +51,23 @@
 // The tracker's hot path is sharded rather than globally locked: each
 // Thread owns its clock and record buffer, each Object's lock protects that
 // object's last-writer clock (the stripe all cross-thread causality flows
-// through), and component discovery is read-mostly. Per-thread records are
-// merged into the canonical trace when a snapshot is taken:
+// through), and component discovery is read-mostly. Read operations hold
+// their object's stripe shared, so reader callbacks on one object run
+// concurrently with each other; writers hold it exclusively.
+//
+// The per-event cost is O(changed components), not O(clock width): commits
+// record only the delta each operation applied to its thread's clock
+// (allocation-free, at any width), and full vectors materialize lazily. A
+// Stamped's Vector() — and its comparison helpers — reconstruct the
+// timestamp on first use and memoize; bulk consumers should take one
+// snapshot instead:
 //
 //	trace, stamps := tracker.Snapshot() // one barrier, consistent pair
 //
 // Snapshot, Trace, Stamps and Compact are stop-the-world barriers that
-// quiesce in-flight operations; see the internal/track package
-// documentation for the full concurrency model.
+// quiesce in-flight operations, merge the per-thread delta records, and
+// materialize their stamps; see the internal/track package documentation
+// for the full concurrency model.
 //
 // # Choosing a backend
 //
@@ -81,5 +90,16 @@
 // identical timestamps (a property the test suite asserts exhaustively), and
 // both serialize to the same flat wire form, so logs and comparisons are
 // backend-agnostic. See BenchmarkBackends for head-to-head numbers per
-// workload shape.
+// workload shape. Auto picks a backend from the observed computation —
+// offline clocks resolve it against the analyzed width and join shape, a
+// Tracker re-decides at every Compact.
+//
+// # Persistence
+//
+// WriteLog stores a timestamped computation with one full vector per event;
+// WriteLogDelta stores, per event, only the components that changed against
+// the same thread's previous stamp (with periodic full-vector sync points),
+// which shrinks logs by roughly clock-width ÷ changes-per-event on wide
+// clocks. Both formats tolerate truncation, and ReadLog auto-detects which
+// one a stream carries.
 package mixedclock

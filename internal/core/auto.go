@@ -1,0 +1,77 @@
+package core
+
+import (
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/vclock"
+)
+
+// Backend auto-selection. BenchmarkBackends (the flat-vs-tree head-to-head
+// over four workload shapes) shows the representations win in different
+// regimes:
+//
+//   - flat wins narrow clocks outright — O(k) with tiny constants beats tree
+//     bookkeeping until k is in the low hundreds — and keeps winning at any
+//     width when single joins touch most components (the wide-fanin shape:
+//     a collector sweeping every producer's mailbox);
+//   - tree wins wide clocks whose joins have causal locality (deep-join
+//     ~1.3×, read-heavy ~1.6× at 256 components), because its cost scales
+//     with the components a join actually changes.
+//
+// ChooseBackend encodes those crossovers so callers can say
+// WithBackend(Auto) / -backend=auto and get the right representation for the
+// observed computation.
+
+const (
+	// AutoTreeWidth is the component-set width at which the tree backend
+	// starts winning on causally local joins. BenchmarkBackends brackets
+	// the crossover between the narrow seeded-hotset (~29 components,
+	// flat wins) and the 256-component shapes (tree wins); 128 splits the
+	// gap conservatively.
+	AutoTreeWidth = 128
+	// AutoFanInDivisor guards against the wide-fanin regime: when the
+	// widest single join can touch more than width/AutoFanInDivisor
+	// components there is no locality for the tree to exploit, and the
+	// flat scan's constants win even at large widths (the wide-fanin
+	// shape has fan-in ≈ width; deep-join and read-heavy have fan-in of
+	// a few).
+	AutoFanInDivisor = 4
+)
+
+// ChooseBackend picks a concrete clock representation from the observed
+// component-set width and join shape. maxFanIn is the width of the widest
+// single join expected — the maximum vertex degree of the thread–object
+// graph is a sound static proxy (a thread of degree d can have absorbed at
+// most d objects' histories since its last event on any one of them). Pass
+// 0 when unknown; the width threshold alone then decides.
+func ChooseBackend(width, maxFanIn int) vclock.Backend {
+	if width >= AutoTreeWidth && maxFanIn*AutoFanInDivisor <= width {
+		return vclock.BackendTree
+	}
+	return vclock.BackendFlat
+}
+
+// ResolveBackend resolves BackendAuto against observed state; concrete
+// backends pass through unchanged.
+func ResolveBackend(b vclock.Backend, width, maxFanIn int) vclock.Backend {
+	if b != vclock.BackendAuto {
+		return b
+	}
+	return ChooseBackend(width, maxFanIn)
+}
+
+// MaxFanIn returns the maximum vertex degree of g over both sides — the
+// join-shape statistic ChooseBackend consumes.
+func MaxFanIn(g *bipartite.Graph) int {
+	max := 0
+	for t := 0; t < g.NThreads(); t++ {
+		if d := g.ThreadDegree(t); d > max {
+			max = d
+		}
+	}
+	for o := 0; o < g.NObjects(); o++ {
+		if d := g.ObjectDegree(o); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/vclock"
+)
+
+func TestChooseBackend(t *testing.T) {
+	cases := []struct {
+		name         string
+		width, fanIn int
+		want         vclock.Backend
+	}{
+		{"narrow", 29, 2, vclock.BackendFlat},
+		{"wide-local", 256, 3, vclock.BackendTree},
+		{"wide-fanin", 192, 192, vclock.BackendFlat},
+		{"threshold", AutoTreeWidth, 1, vclock.BackendTree},
+		{"just-under", AutoTreeWidth - 1, 1, vclock.BackendFlat},
+		{"unknown-shape", 256, 0, vclock.BackendTree},
+	}
+	for _, c := range cases {
+		if got := ChooseBackend(c.width, c.fanIn); got != c.want {
+			t.Errorf("%s: ChooseBackend(%d, %d) = %v, want %v", c.name, c.width, c.fanIn, got, c.want)
+		}
+	}
+}
+
+func TestResolveBackendPassesThrough(t *testing.T) {
+	if got := ResolveBackend(vclock.BackendTree, 1, 1); got != vclock.BackendTree {
+		t.Fatalf("tree resolved to %v", got)
+	}
+	if got := ResolveBackend(vclock.BackendFlat, 10_000, 1); got != vclock.BackendFlat {
+		t.Fatalf("flat resolved to %v", got)
+	}
+	if got := ResolveBackend(vclock.BackendAuto, 10_000, 1); got != vclock.BackendTree {
+		t.Fatalf("auto at width 10000 resolved to %v", got)
+	}
+}
+
+func TestMaxFanIn(t *testing.T) {
+	g := bipartite.New(3, 4)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 2)
+	if got := MaxFanIn(g); got != 3 {
+		t.Fatalf("MaxFanIn = %d, want 3 (thread 0 and object 2 tie)", got)
+	}
+	if got := MaxFanIn(bipartite.New(0, 0)); got != 0 {
+		t.Fatalf("empty graph MaxFanIn = %d", got)
+	}
+}
+
+// TestAutoBackendStampsMatch pins that a clock built with BackendAuto
+// produces timestamps identical to both concrete backends (which the
+// equivalence suite already proves agree with each other).
+func TestAutoBackendStampsMatch(t *testing.T) {
+	tr := paperTrace()
+	a := AnalyzeTrace(tr)
+	auto := a.NewClockBackend(vclock.BackendAuto)
+	flat := a.NewClockBackend(vclock.BackendFlat)
+	if auto.Backend() == vclock.BackendAuto {
+		t.Fatal("auto not resolved at construction")
+	}
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.At(i)
+		if got, want := auto.Timestamp(e), flat.Timestamp(e); !got.Equal(want) {
+			t.Fatalf("event %d: auto %v, flat %v", i, got, want)
+		}
+	}
+	if err := auto.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

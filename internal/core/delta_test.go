@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+// TestTimestampDeltaMatchesTimestamp replays the same computation through a
+// materializing clock and a delta-capturing one (per backend) and checks the
+// per-thread replay of each capture reproduces the full stamp exactly —
+// width included, since the log format and the tracker's record buffers both
+// reconstruct through this contract.
+func TestTimestampDeltaMatchesTimestamp(t *testing.T) {
+	for _, backend := range []vclock.Backend{vclock.BackendFlat, vclock.BackendTree} {
+		t.Run(backend.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			tr := randomTrace(rng, 6, 5, 400)
+			a := AnalyzeTrace(tr)
+
+			full := NewMixedClockBackend(a.Components, backend)
+			delta := NewMixedClockBackend(a.Components, backend)
+			prev := make(map[int]vclock.Vector)
+			var scratch []vclock.Delta
+			for i := 0; i < tr.Len(); i++ {
+				e := tr.At(i)
+				want := full.Timestamp(e)
+				var width int
+				scratch, width = delta.TimestampDelta(e, scratch[:0])
+				got := prev[int(e.Thread)].Apply(scratch).Grow(width)
+				prev[int(e.Thread)] = got
+				if len(got) != len(want) {
+					t.Fatalf("event %d: replay width %d, stamp width %d", i, len(got), len(want))
+				}
+				if !got.Equal(want) {
+					t.Fatalf("event %d: replay %v, stamp %v", i, got, want)
+				}
+			}
+			if err := full.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := delta.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if full.Events() != delta.Events() {
+				t.Fatalf("event counts diverged: %d vs %d", full.Events(), delta.Events())
+			}
+		})
+	}
+}
+
+// TestTimestampDeltaUncovered pins that the delta path reports clock misuse
+// through Err like the materializing path.
+func TestTimestampDeltaUncovered(t *testing.T) {
+	comps := NewComponentSet()
+	comps.Add(ThreadComponent(0))
+	c := NewMixedClock(comps)
+	c.TimestampDelta(event.Event{Thread: 5, Object: 9}, nil)
+	if c.Err() == nil {
+		t.Fatal("uncovered event not reported")
+	}
+}
+
+// TestUpdateRuleDeltaAgreesWithUpdateRule runs both rule forms side by side
+// over a random schedule and requires identical clock evolution.
+func TestUpdateRuleDeltaAgreesWithUpdateRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const width, steps = 8, 300
+	tvA, ovA := vclock.NewFlat(0), vclock.NewFlat(0)
+	tvB, ovB := vclock.NewFlat(0), vclock.NewFlat(0)
+	var ds []vclock.Delta
+	for s := 0; s < steps; s++ {
+		thrIdx, objIdx := rng.Intn(width), -1
+		if rng.Intn(2) == 0 {
+			objIdx = rng.Intn(width)
+		}
+		ta := UpdateRule(tvA, ovA, thrIdx, objIdx, width)
+		var tb bool
+		ds, tb = UpdateRuleDelta(tvB, ovB, thrIdx, objIdx, width, ds[:0])
+		if ta != tb {
+			t.Fatalf("step %d: ticked %v vs %v", s, ta, tb)
+		}
+		if !tvA.Flatten().Equal(tvB.Flatten()) || !ovA.Flatten().Equal(ovB.Flatten()) {
+			t.Fatalf("step %d: clocks diverged", s)
+		}
+		if len(ds) == 0 {
+			t.Fatalf("step %d: a ticking rule captured no change", s)
+		}
+	}
+}

@@ -44,8 +44,11 @@ func NewMixedClock(comps *ComponentSet) *MixedClock {
 }
 
 // NewMixedClockBackend is NewMixedClock with an explicit clock
-// representation.
+// representation. BackendAuto is resolved here from the component-set width
+// (Analysis.NewClockBackend resolves it with the join shape too, which it
+// can read off the graph).
 func NewMixedClockBackend(comps *ComponentSet, backend vclock.Backend) *MixedClock {
+	backend = ResolveBackend(backend, comps.Len(), 0)
 	return &MixedClock{
 		comps:   comps,
 		backend: backend,
@@ -55,6 +58,8 @@ func NewMixedClockBackend(comps *ComponentSet, backend vclock.Backend) *MixedClo
 }
 
 // NewBackendClock returns an empty clock in the configured representation.
+// BackendAuto must be resolved (ResolveBackend) before clocks are built;
+// unresolved it falls back to the flat reference.
 func NewBackendClock(b vclock.Backend) vclock.Clock {
 	if b == vclock.BackendTree {
 		return treeclock.New(0)
@@ -93,34 +98,100 @@ func UpdateRule(tv, ov vclock.Clock, thrIdx, objIdx, width int) bool {
 	return ticked
 }
 
-// Timestamp implements clock.Timestamper via UpdateRule.
-func (c *MixedClock) Timestamp(e event.Event) vclock.Vector {
-	tv := c.threads[e.Thread]
+// UpdateRuleDelta is UpdateRule with change capture: every component the
+// event changed on the thread's clock — join raises and ticks alike — is
+// appended to dst as an (index, value) assignment, so that the thread's
+// previous stamp Apply'd with the capture is exactly the event's stamp. The
+// caller owns dst (pass a retained scratch slice to keep the hot path
+// allocation-free); the extended slice and the covered flag are returned.
+func UpdateRuleDelta(tv, ov vclock.Clock, thrIdx, objIdx, width int, dst []vclock.Delta) ([]vclock.Delta, bool) {
+	dst = tv.JoinDelta(ov, dst)
+	dst, ticked := TickCovered(tv, thrIdx, objIdx, dst)
+	tv.Grow(width)
+	ov.Join(tv)
+	return dst, ticked
+}
+
+// TickCovered is the tick half of the §III-C rule with change capture: it
+// ticks the covered endpoints of an event — object first, then thread, the
+// order every path must agree on — appending the changes to dst. It returns
+// the extended buffer and whether any endpoint was covered. Shared by
+// UpdateRuleDelta and the live tracker's re-acquisition fast path (which
+// skips the join but must capture ticks identically).
+func TickCovered(tv vclock.Clock, thrIdx, objIdx int, dst []vclock.Delta) ([]vclock.Delta, bool) {
+	ticked := false
+	if objIdx >= 0 {
+		dst = tv.TickDelta(objIdx, dst)
+		ticked = true
+	}
+	if thrIdx >= 0 {
+		dst = tv.TickDelta(thrIdx, dst)
+		ticked = true
+	}
+	return dst, ticked
+}
+
+// clocksFor resolves the per-thread and per-object clock state and the
+// component indices of e's endpoints (-1 when not a component).
+func (c *MixedClock) clocksFor(e event.Event) (tv, ov vclock.Clock, thrIdx, objIdx int) {
+	tv = c.threads[e.Thread]
 	if tv == nil {
 		tv = NewBackendClock(c.backend)
 		c.threads[e.Thread] = tv
 	}
-	ov := c.objects[e.Object]
+	ov = c.objects[e.Object]
 	if ov == nil {
 		ov = NewBackendClock(c.backend)
 		c.objects[e.Object] = ov
 	}
-	thrIdx, objIdx := -1, -1
+	thrIdx, objIdx = -1, -1
 	if i, ok := c.comps.IndexOf(ThreadComponent(e.Thread)); ok {
 		thrIdx = i
 	}
 	if i, ok := c.comps.IndexOf(ObjectComponent(e.Object)); ok {
 		objIdx = i
 	}
-	if !UpdateRule(tv, ov, thrIdx, objIdx, c.comps.Len()) && c.err == nil {
+	return tv, ov, thrIdx, objIdx
+}
+
+// noteUncovered records the clock-misuse error for an uncovered event.
+func (c *MixedClock) noteUncovered(e event.Event) {
+	if c.err == nil {
 		// The event's edge is not covered: this clock was built for a
-		// different computation. The stamp returned here cannot order the
+		// different computation. The stamp produced here cannot order the
 		// event; record the misuse for Err instead of panicking.
 		c.err = fmt.Errorf("core: event %d %v not covered by components %v",
 			e.Index, e, c.comps)
 	}
+}
+
+// Timestamp implements clock.Timestamper via UpdateRule.
+func (c *MixedClock) Timestamp(e event.Event) vclock.Vector {
+	tv, ov, thrIdx, objIdx := c.clocksFor(e)
+	if !UpdateRule(tv, ov, thrIdx, objIdx, c.comps.Len()) {
+		c.noteUncovered(e)
+	}
 	c.events++
 	return tv.Flatten()
+}
+
+// TimestampDelta is Timestamp without the O(k) materialization: instead of
+// flattening the thread's clock it appends the event's change set — against
+// the thread's previous stamp — to dst and returns the extended buffer plus
+// the clock width at this event (the stamp's nominal length; components
+// beyond the last assignment are zero). Mixing TimestampDelta and Timestamp
+// on one clock is fine; both advance the same state. This is the offline
+// half of the delta stamping pipeline: tlog's delta writer consumes the
+// capture directly, so exporting a trace never builds full vectors except at
+// sync points.
+func (c *MixedClock) TimestampDelta(e event.Event, dst []vclock.Delta) ([]vclock.Delta, int) {
+	tv, ov, thrIdx, objIdx := c.clocksFor(e)
+	dst, ticked := UpdateRuleDelta(tv, ov, thrIdx, objIdx, c.comps.Len(), dst)
+	if !ticked {
+		c.noteUncovered(e)
+	}
+	c.events++
+	return dst, c.comps.Len()
 }
 
 // Components implements clock.Timestamper.

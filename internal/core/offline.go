@@ -48,7 +48,12 @@ func (a *Analysis) NewClock() *MixedClock {
 }
 
 // NewClockBackend is NewClock with an explicit clock representation.
+// BackendAuto resolves against the analyzed computation: the optimal width
+// and the graph's maximum degree (the join-shape proxy ChooseBackend wants).
 func (a *Analysis) NewClockBackend(b vclock.Backend) *MixedClock {
+	if b == vclock.BackendAuto {
+		b = ChooseBackend(a.Components.Len(), MaxFanIn(a.Graph))
+	}
 	return NewMixedClockBackend(a.Components, b)
 }
 

@@ -50,3 +50,78 @@ func BenchmarkReadAll(b *testing.B) {
 		}
 	}
 }
+
+// burstyComputation builds the workload shape the delta format targets:
+// each thread performs runs of operations on one object over a wide clock,
+// so consecutive per-thread stamps differ in a handful of components.
+func burstyComputation(b *testing.B) (*event.Trace, []vclock.Vector) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	const threads, objects, bursts, burstLen = 48, 48, 6, 8
+	tr := event.NewTrace()
+	for round := 0; round < bursts; round++ {
+		for tid := 0; tid < threads; tid++ {
+			obj := event.ObjectID(rng.Intn(objects))
+			for k := 0; k < burstLen; k++ {
+				tr.Append(event.ThreadID(tid), obj, event.OpWrite)
+			}
+		}
+	}
+	return tr, clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+}
+
+// BenchmarkLogEncode compares the full and delta writers on the same bursty
+// computation: ns/op, allocs (the delta writer's steady state allocates
+// nothing per event) and encoded bytes/event — the file-size half of the
+// comparison.
+func BenchmarkLogEncode(b *testing.B) {
+	tr, stamps := burstyComputation(b)
+	shapes := []struct {
+		name  string
+		write func(*bytes.Buffer) error
+	}{
+		{"full", func(buf *bytes.Buffer) error { return WriteAll(buf, tr, stamps) }},
+		{"delta", func(buf *bytes.Buffer) error { return WriteAllDelta(buf, tr, stamps) }},
+	}
+	for _, s := range shapes {
+		b.Run(s.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := s.write(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(buf.Len())/float64(tr.Len()), "bytes/event")
+		})
+	}
+}
+
+// BenchmarkLogDecode compares reading the two formats back.
+func BenchmarkLogDecode(b *testing.B) {
+	tr, stamps := burstyComputation(b)
+	var full, delta bytes.Buffer
+	if err := WriteAll(&full, tr, stamps); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteAllDelta(&delta, tr, stamps); err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []struct {
+		name string
+		data []byte
+	}{{"full", full.Bytes()}, {"delta", delta.Bytes()}} {
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(s.data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ReadAll(bytes.NewReader(s.data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,16 @@ func FuzzReadAll(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("MVCLOG01"))
 	f.Add([]byte("garbage."))
+	// Delta-format seeds: a real v2 log, a truncation of it, and a bare
+	// header, so the reader's reconstruction paths get fuzzed too.
+	var dbuf bytes.Buffer
+	if err := WriteAllDelta(&dbuf, tr, []vclock.Vector{{1}, {1, 1}}); err != nil {
+		f.Fatal(err)
+	}
+	dgood := dbuf.Bytes()
+	f.Add(dgood)
+	f.Add(dgood[:len(dgood)-1])
+	f.Add([]byte("MVCLOG02"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		gotTr, stamps, err := ReadAll(bytes.NewReader(data))
 		if err != nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrCorrupt) {

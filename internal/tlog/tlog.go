@@ -2,15 +2,23 @@
 // persistence format for computations whose timestamps should survive the
 // process (post-mortem debugging, recovery lines after a crash).
 //
-// Format: an 8-byte magic header, then one record per event:
+// Two wire formats share the record framing and truncation semantics, and
+// Reader auto-detects which one a stream carries:
 //
-//	uvarint thread | uvarint object | uvarint op | canonical vector
+//   - Full (magic "MVCLOG01", Writer/WriteAll): one record per event,
+//     uvarint thread | object | op | canonical vector, where the vector is
+//     a uvarint component count followed by uvarint components (trailing
+//     zeros trimmed, as in vclock's codec).
+//   - Delta (magic "MVCLOG02", DeltaWriter/WriteAllDelta): records carry
+//     only the (index, value) pairs that changed against the same thread's
+//     previous record, with full-vector sync points every SyncEvery records
+//     per thread; see delta.go. On wide clocks with causal locality the
+//     stream shrinks by roughly width ÷ changes-per-event.
 //
-// where the vector is a uvarint component count followed by uvarint
-// components (trailing zeros trimmed, as in vclock's codec). Records are
-// self-delimiting, so a log truncated by a crash is readable up to the last
-// complete record; ReadAll returns the readable prefix together with
-// ErrTruncated, which is exactly what failure recovery wants.
+// Records are self-delimiting in both formats, so a log truncated by a
+// crash is readable up to the last complete record; ReadAll returns the
+// readable prefix together with ErrTruncated, which is exactly what failure
+// recovery wants.
 package tlog
 
 import (
@@ -49,6 +57,25 @@ const (
 	maxOp         = 1 << 16
 	maxComponents = 1 << 24
 )
+
+// Delta-format width budget: a delta pair names an absolute component
+// index, so unlike the full format a few-byte record could demand a huge
+// reconstruction up front. The reader only accepts indices below
+// deltaBudgetBase + deltaBudgetFactor × (bytes read so far), which keeps
+// reconstruction memory proportional to input size; the writer checks the
+// same inequality against bytes written and falls back to a full record —
+// which pays for its width in stream bytes, replenishing the budget — when
+// a pair would exceed it.
+const (
+	deltaBudgetBase   = 1 << 12
+	deltaBudgetFactor = 8
+)
+
+// deltaBudget is the largest component index a delta pair may name after n
+// stream bytes.
+func deltaBudget(n int64) uint64 {
+	return uint64(deltaBudgetBase + deltaBudgetFactor*n)
+}
 
 // Writer appends timestamped events to a stream. Call Flush before closing
 // the underlying writer.
@@ -94,31 +121,62 @@ func (w *Writer) Flush() error {
 	return nil
 }
 
-// Reader iterates a tlog stream.
+// Reader iterates a tlog stream in either format: the magic header decides
+// whether records carry full vectors (version 01) or per-thread deltas with
+// sync-point fallbacks (version 02), and Next reconstructs full vectors
+// transparently either way.
 type Reader struct {
 	r     *bufio.Reader
 	index int
+	// delta is set for version-02 streams; prev then holds the running
+	// per-thread reconstruction state, and count meters the raw input so
+	// reconstruction width stays proportional to bytes actually read (the
+	// delta-format analogue of fullVector's incremental growth guard).
+	delta bool
+	prev  map[event.ThreadID]vclock.Vector
+	count *countingReader
+}
+
+// countingReader meters bytes pulled from the underlying stream (bufio
+// read-ahead included, which only ever makes the budget more generous by a
+// bounded constant).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // NewReader validates the magic header and returns a Reader. An empty
 // stream (no header at all) yields a Reader that immediately reports
-// io.EOF, matching the lazy-header Writer.
+// io.EOF, matching the lazy-header Writers.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	head, err := br.Peek(len(magic))
 	if err == io.EOF && len(head) == 0 {
-		return &Reader{r: br}, nil
+		return &Reader{r: br, count: cr}, nil
 	}
 	if err != nil && err != io.EOF {
 		return nil, fmt.Errorf("tlog: reading header: %w", err)
 	}
-	if !bytes.Equal(head, magic[:]) {
+	lr := &Reader{r: br, count: cr}
+	switch {
+	case bytes.Equal(head, magic[:]):
+	case bytes.Equal(head, magicDelta[:]):
+		lr.delta = true
+		lr.prev = make(map[event.ThreadID]vclock.Vector)
+	default:
 		return nil, ErrBadMagic
 	}
 	if _, err := br.Discard(len(magic)); err != nil {
 		return nil, fmt.Errorf("tlog: discarding header: %w", err)
 	}
-	return &Reader{r: br}, nil
+	return lr, nil
 }
 
 // Next returns the next record. It reports io.EOF at a clean end of stream
@@ -148,22 +206,14 @@ func (r *Reader) Next() (event.Event, vclock.Vector, error) {
 	if op > maxOp {
 		return event.Event{}, nil, fmt.Errorf("%w: op %d", ErrCorrupt, op)
 	}
-	n, err := r.field("component count")
+	var v vclock.Vector
+	if r.delta {
+		v, err = r.deltaPayload(event.ThreadID(t))
+	} else {
+		v, err = r.fullVector()
+	}
 	if err != nil {
 		return event.Event{}, nil, err
-	}
-	if n > maxComponents {
-		return event.Event{}, nil, fmt.Errorf("%w: component count %d", ErrCorrupt, n)
-	}
-	// Grow incrementally: each component consumes at least one input byte,
-	// so a lying count cannot force a large allocation up front.
-	v := make(vclock.Vector, 0, min(n, 64))
-	for i := uint64(0); i < n; i++ {
-		x, err := r.field("component")
-		if err != nil {
-			return event.Event{}, nil, err
-		}
-		v = append(v, x)
 	}
 	e := event.Event{
 		Index:  r.index,
@@ -173,6 +223,94 @@ func (r *Reader) Next() (event.Event, vclock.Vector, error) {
 	}
 	r.index++
 	return e, v, nil
+}
+
+// fullVector decodes a canonical vector payload (format 01, and format 02
+// sync records).
+func (r *Reader) fullVector() (vclock.Vector, error) {
+	n, err := r.field("component count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxComponents {
+		return nil, fmt.Errorf("%w: component count %d", ErrCorrupt, n)
+	}
+	// Grow incrementally: each component consumes at least one input byte,
+	// so a lying count cannot force a large allocation up front.
+	v := make(vclock.Vector, 0, min(n, 64))
+	for i := uint64(0); i < n; i++ {
+		x, err := r.field("component")
+		if err != nil {
+			return nil, err
+		}
+		v = append(v, x)
+	}
+	return v, nil
+}
+
+// deltaPayload decodes a format-02 payload for thread t, reconstructing the
+// full vector from the thread's running state.
+func (r *Reader) deltaPayload(t event.ThreadID) (vclock.Vector, error) {
+	tag, err := r.field("tag")
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagFull:
+		v, err := r.fullVector()
+		if err != nil {
+			return nil, err
+		}
+		r.prev[t] = v.Clone()
+		return v, nil
+	case tagDelta:
+		// The writer emits a full vector as every thread's first record,
+		// so a delta with no base to apply to is proof of corruption (or a
+		// spliced stream) — reconstructing from zero would fabricate
+		// timestamps without any error.
+		v, seeded := r.prev[t]
+		if !seeded {
+			return nil, fmt.Errorf("%w: delta record for thread %d before any full record", ErrCorrupt, t)
+		}
+		n, err := r.field("pair count")
+		if err != nil {
+			return nil, err
+		}
+		if n > maxComponents {
+			return nil, fmt.Errorf("%w: pair count %d", ErrCorrupt, n)
+		}
+		// Apply in place on the running state (nothing else aliases it;
+		// full records store a private clone) and hand the caller a copy.
+		for i := uint64(0); i < n; i++ {
+			idx, err := r.field("pair index")
+			if err != nil {
+				return nil, err
+			}
+			// Full records cap the width at maxComponents, so the largest
+			// legal index is maxComponents-1 — keep the formats' limits
+			// consistent.
+			if idx >= maxComponents {
+				return nil, fmt.Errorf("%w: component index %d", ErrCorrupt, idx)
+			}
+			// Reconstruction memory must stay proportional to input size;
+			// DeltaWriter maintains the same inequality against bytes
+			// written (falling back to full records when needed), so
+			// anything it produced passes, while a hostile few-byte
+			// record asking for a 2²⁴-wide vector is refused.
+			if idx >= deltaBudget(r.count.n) {
+				return nil, fmt.Errorf("%w: component index %d exceeds stream budget", ErrCorrupt, idx)
+			}
+			x, err := r.field("pair value")
+			if err != nil {
+				return nil, err
+			}
+			v = v.Set(int(idx), x)
+		}
+		r.prev[t] = v
+		return v.Clone(), nil
+	default:
+		return nil, fmt.Errorf("%w: record tag %d", ErrCorrupt, tag)
+	}
 }
 
 func (r *Reader) field(name string) (uint64, error) {

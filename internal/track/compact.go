@@ -26,7 +26,8 @@ import (
 
 // Order compares two stamped operations from the same tracker, taking
 // epochs into account: within an epoch, the vector order; across epochs,
-// the epoch order.
+// the epoch order. The comparison materializes both lazy stamps (one
+// tracker barrier each on first use; memoized afterwards).
 func (s Stamped) Order(t Stamped) vclock.Ordering {
 	switch {
 	case s.Epoch < t.Epoch:
@@ -34,7 +35,7 @@ func (s Stamped) Order(t Stamped) vclock.Ordering {
 	case s.Epoch > t.Epoch:
 		return vclock.After
 	default:
-		return s.Vector.Compare(t.Vector)
+		return s.vec().Compare(t.vec())
 	}
 }
 
@@ -58,12 +59,20 @@ func (t *Tracker) Compact() (epoch, size int, err error) {
 		return 0, 0, fmt.Errorf("track: compaction: %w", err)
 	}
 	t.cover.Store(core.NewSharedCover(seeded))
+	// An auto backend re-decides here: the compacted width and the revealed
+	// join shape are exactly the statistics the heuristic wants, and every
+	// clock restarts from zero anyway, so the representation can change
+	// without mixing.
+	t.backend = core.ResolveBackend(t.requested, seeded.Size(), core.MaxFanIn(analysis.Graph))
 	// Reset every thread- and object-local clock: the new epoch starts from
 	// zero over the compacted components. No Do is in flight (we hold the
 	// write lock), so the per-thread and per-object state is quiescent.
+	// The delta replay base and the re-acquisition cache restart with it.
 	t.reg.Lock()
 	for _, th := range t.threads {
 		th.clock = nil
+		th.base = nil
+		th.lastObj = nil
 	}
 	for _, o := range t.objects {
 		o.clock = nil

@@ -20,20 +20,41 @@
 //     recorded operations. Both are touched only by the goroutine driving
 //     the Thread (a Thread must be used by one goroutine at a time), so
 //     they need no lock at all.
-//   - Object-striped: each Object carries a mutex — the paper's per-object
-//     mutual exclusion — and, under it, the object's last-writer clock.
-//     Thread.Do holds the object lock across the user's function and the
-//     clock update, so joins against the object's clock read and write it
-//     race-free and in the object's execution order. (Cross-thread
-//     causality flows only through these per-object joins.)
+//   - Object-striped: each Object carries an RWMutex — the paper's
+//     per-object mutual exclusion — and, under it, the object's last-writer
+//     clock. Writes hold the stripe exclusively across the user's function
+//     and the clock update; reads hold it shared across the function (so
+//     reader callbacks on one object run concurrently) and serialize only
+//     the short clock commit on a secondary mutex. Either way the commit
+//     that assigns the trace index and updates the object clock is mutually
+//     exclusive per object, so the recorded object order is a real order
+//     and cross-thread causality flows race-free through the stripe.
 //   - Read-mostly: component discovery goes through core.SharedCover, whose
 //     fast path (edge already revealed — the steady state) takes only a
 //     read lock. Only a genuinely new (thread, object) edge takes the write
 //     lock and runs the component-choice mechanism.
 //   - Global: a single atomic counter assigns each operation its dense
-//     trace index. The counter is fetched while the object lock is held, so
-//     index order refines both program order and object order — i.e. the
-//     merged trace is a linearization of happened-before.
+//     trace index. The counter is fetched while the object commit exclusion
+//     is held, so index order refines both program order and object order —
+//     i.e. the merged trace is a linearization of happened-before.
+//
+// # Delta records and lazy stamps
+//
+// Committing an event does not flatten the thread's clock. The update rule
+// runs in change-capture form (core.UpdateRuleDelta): the components the
+// event actually changed are appended to a per-thread delta arena, and the
+// record buffer stores only the event plus its arena range — O(changed
+// components) per event instead of O(k), and no allocation beyond amortized
+// buffer growth. Full vectors are materialized lazily, at the next
+// stop-the-world barrier (Snapshot, Trace, Stamps, Compact), by replaying
+// each thread's deltas forward from its previous materialization — the
+// barrier already pays O(events·k) to copy stamps out, so reconstruction
+// hides there. A Stamped returned by Do carries a handle, not a vector;
+// Stamped.Vector and the comparison helpers materialize through the barrier
+// on first use and memoize. Re-reading the same object the thread just
+// left (the read-heavy steady state) is cheaper still: a version check
+// proves the thread's clock already equals the object's, and the commit
+// degenerates to ticking the covered components — O(1) at any clock width.
 //
 // Trace recording is deferred: operations accumulate in per-thread buffers
 // and are merged (sorted by trace index) only when a snapshot is taken —
@@ -45,9 +66,9 @@
 // a lock on the per-event path. The read lock covers only the commit, not
 // the user's callback, so a callback may freely block, nest Do calls (on
 // different objects, with the usual mutex lock-ordering discipline), or
-// call any Tracker method — exactly as with the earlier global-mutex
-// tracker. An operation whose callback straddles a compaction simply
-// commits into the new epoch.
+// call any Tracker method — including Stamped.Vector on an earlier stamp.
+// An operation whose callback straddles a compaction simply commits into
+// the new epoch.
 package track
 
 import (
@@ -64,10 +85,35 @@ import (
 // Stamped is one recorded operation with its timestamp. Epoch counts the
 // compactions that preceded the operation (see Compact); comparisons
 // between stamps honour it.
+//
+// The timestamp itself is lazy: Do records only the components the
+// operation changed, and Vector (or any comparison helper) reconstructs the
+// full vector on first use by quiescing the tracker — the same barrier
+// Snapshot takes — then memoizes it, so later uses are free. Bulk consumers
+// should prefer one Snapshot/Stamps call over materializing stamps one by
+// one.
 type Stamped struct {
-	Event  event.Event
-	Vector vclock.Vector
-	Epoch  int
+	Event event.Event
+	Epoch int
+	cell  *stampCell
+}
+
+// Vector returns the operation's full timestamp as an independent copy. The
+// zero Stamped returns nil.
+func (s Stamped) Vector() vclock.Vector {
+	if s.cell == nil {
+		return nil
+	}
+	return s.cell.vector().Clone()
+}
+
+// vec returns the memoized timestamp without copying — for internal
+// comparisons only.
+func (s Stamped) vec() vclock.Vector {
+	if s.cell == nil {
+		return nil
+	}
+	return s.cell.vector()
 }
 
 // HappenedBefore reports whether s's operation causally precedes t's,
@@ -80,10 +126,34 @@ func (s Stamped) HappenedBefore(t Stamped) bool { return s.Order(t) == vclock.Be
 // barrier.
 func (s Stamped) Concurrent(t Stamped) bool { return s.Order(t) == vclock.Concurrent }
 
-// record is one committed operation waiting in a thread's append buffer.
+// stampCell is the shared lazy-materialization state behind a Stamped. The
+// first vector() call reconstructs the stamp through the tracker barrier and
+// memoizes; copies of the Stamped share the cell, so they share the work.
+type stampCell struct {
+	t    *Tracker
+	idx  int
+	once sync.Once
+	v    vclock.Vector
+}
+
+func (c *stampCell) vector() vclock.Vector {
+	c.once.Do(func() { c.v = c.t.stampAt(c.idx) })
+	return c.v
+}
+
+// cellChunkSize is how many stamp cells a thread allocates at once; cells
+// are handed out from the chunk so the per-event allocation amortizes away.
+const cellChunkSize = 128
+
+// record is one committed operation waiting in a thread's append buffer:
+// the event plus the arena range of the components it changed relative to
+// the thread's previous record, and the clock width at commit time (stamps
+// are padded to it at materialization, matching what Flatten used to
+// return).
 type record struct {
-	ev event.Event
-	v  vclock.Vector
+	ev         event.Event
+	start, end int
+	width      int
 }
 
 // Tracker coordinates causality tracking across goroutines. Create one per
@@ -105,11 +175,17 @@ type Tracker struct {
 	// at compaction (under the world barrier). The pointer itself is
 	// atomic so read-only accessors (Size, Components) stay safe — and
 	// deadlock-free even inside a Do callback — without the world lock.
-	cover   atomic.Pointer[core.SharedCover]
-	backend vclock.Backend
+	cover atomic.Pointer[core.SharedCover]
+	// requested is the backend the tracker was built with (possibly
+	// BackendAuto); backend is the resolved representation clocks are
+	// currently built in. Auto re-resolves at every Compact, when the
+	// epoch's clocks restart from zero anyway.
+	requested vclock.Backend
+	backend   vclock.Backend
 
 	// seq assigns each commit its dense global trace index; fetched while
-	// the object lock is held so index order linearizes happened-before.
+	// the object commit exclusion is held so index order linearizes
+	// happened-before.
 	seq atomic.Int64
 
 	// Merged history and epoch bookkeeping, written only under the world
@@ -143,7 +219,10 @@ func WithMechanism(m core.Mechanism) Option {
 // WithBackend selects the clock representation (default: the flat vector).
 // The tree backend trades slightly richer bookkeeping for joins that cost
 // only as much as the components they change; timestamps are identical
-// either way. The choice survives Compact.
+// either way. The choice survives Compact. BackendAuto defers the choice to
+// the tracker: flat at first (nothing revealed yet), re-decided at every
+// Compact from the observed component-set width and join shape
+// (core.ChooseBackend).
 func WithBackend(b vclock.Backend) Option {
 	return func(o *options) { o.backend = b }
 }
@@ -155,8 +234,9 @@ func NewTracker(opts ...Option) *Tracker {
 		opt(&o)
 	}
 	t := &Tracker{
-		backend: o.backend,
-		trace:   event.NewTrace(),
+		requested: o.backend,
+		backend:   core.ResolveBackend(o.backend, 0, 0),
+		trace:     event.NewTrace(),
 	}
 	t.cover.Store(core.NewSharedCover(core.NewCoverTracker(o.mech)))
 	return t
@@ -164,9 +244,9 @@ func NewTracker(opts ...Option) *Tracker {
 
 // Thread is a registered logical thread. A Thread must be used by one
 // goroutine at a time (typically the goroutine that created it), mirroring
-// the paper's sequential processes. The thread's clock and record buffer are
-// owned by that goroutine; only the stop-the-world barrier touches them from
-// outside.
+// the paper's sequential processes. The thread's clock, delta arena and
+// record buffer are owned by that goroutine; only the stop-the-world
+// barrier touches them from outside.
 type Thread struct {
 	t    *Tracker
 	id   event.ThreadID
@@ -176,8 +256,24 @@ type Thread struct {
 	// of an epoch. Owned by the driving goroutine (under the world read
 	// lock); reset by Compact (under the world write lock).
 	clock vclock.Clock
-	// buf holds committed records not yet merged into the tracker's trace.
-	buf []record
+	// buf holds committed records not yet merged into the tracker's trace;
+	// deltas is the arena their change sets live in.
+	buf    []record
+	deltas []vclock.Delta
+	// base is the materialized stamp of the thread's last drained record —
+	// the replay starting point for the next merge. Owned by the barrier.
+	base vclock.Vector
+	// cells is the current chunk lazy stamp handles are allocated from.
+	cells     []stampCell
+	cellsUsed int
+
+	// One-entry stripe cache for the re-acquisition fast path: when the
+	// thread's last commit anywhere was on lastObj and the object's
+	// version counter still matches, the thread's clock and the object's
+	// clock are provably identical, and the next commit on lastObj can
+	// skip the join entirely. Reset by Compact.
+	lastObj *Object
+	lastVer uint64
 }
 
 // ID returns the thread's dense identifier.
@@ -186,20 +282,31 @@ func (th *Thread) ID() event.ThreadID { return th.id }
 // Name returns the label passed to NewThread.
 func (th *Thread) Name() string { return th.name }
 
-// Object is a registered shared object. Its embedded lock enforces the
-// paper's assumption that operations on a single object are sequential, and
-// protects the object's last-writer clock — the stripe through which all
+// Object is a registered shared object. Its embedded RWMutex enforces the
+// paper's assumption that operations on a single object are sequential —
+// writes exclusively, reads sharing the stripe with other reads — and
+// protects the object's last-writer clock, the stripe through which all
 // cross-thread causality flows.
 type Object struct {
-	mu   sync.Mutex
+	// mu serializes user functions: writers exclusively, readers shared.
+	mu sync.RWMutex
+	// cmu serializes commits among readers (writers already exclude
+	// everything via mu). Every commit on the object runs under mu
+	// (either mode) plus, for reads, cmu — so any two commits are
+	// mutually exclusive and the object's clock chain is a real order.
+	cmu  sync.Mutex
 	t    *Tracker
 	id   event.ObjectID
 	name string
 
 	// clock is the full clock of the object's latest operation, nil until
-	// the first operation of an epoch. Protected by mu; reset by Compact
-	// (under the world write lock, with no Do in flight).
+	// the first operation of an epoch. Protected by the commit exclusion;
+	// reset by Compact (under the world write lock, with no Do in flight).
 	clock vclock.Clock
+	// ver counts commits on this object; the thread-side one-entry cache
+	// uses it to prove the object clock is unchanged since the thread's
+	// own last commit here.
+	ver uint64
 }
 
 // ID returns the object's dense identifier.
@@ -227,9 +334,13 @@ func (t *Tracker) NewObject(name string) *Object {
 }
 
 // Do performs fn as one operation by th on o: it locks o (sequentializing
-// the object), runs fn, then timestamps and records the operation. The
-// object lock is held across both fn and the clock update so the recorded
-// object order matches the execution order.
+// the object), runs fn, then timestamps and records the operation. Writes
+// hold the object exclusively across both fn and the clock update, so the
+// recorded object order matches the execution order. Reads hold the object
+// shared across fn — read callbacks on one object run concurrently with
+// each other (they must not mutate the object, which the read/write split
+// already promised) — and serialize only the clock commit, whose order
+// becomes the recorded object order of the reads.
 //
 // Nested Do calls on *different* objects are allowed (the inner operation is
 // recorded first, as its own event); the usual lock-ordering discipline
@@ -240,6 +351,19 @@ func (th *Thread) Do(o *Object, op event.Op, fn func()) Stamped {
 	t := th.t
 	if t != o.t {
 		panic(fmt.Sprintf("track: thread %q and object %q belong to different trackers", th.name, o.name))
+	}
+	if op == event.OpRead {
+		o.mu.RLock()
+		defer o.mu.RUnlock()
+		if fn != nil {
+			fn()
+		}
+		t.world.RLock()
+		defer t.world.RUnlock()
+		// Readers share mu, so the commit chain needs its own exclusion.
+		o.cmu.Lock()
+		defer o.cmu.Unlock()
+		return t.commit(th, o, op)
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -257,11 +381,12 @@ func (th *Thread) Write(o *Object, fn func()) Stamped { return th.Do(o, event.Op
 // Read is shorthand for Do(o, event.OpRead, fn).
 func (th *Thread) Read(o *Object, fn func()) Stamped { return th.Do(o, event.OpRead, fn) }
 
-// commit applies the §III-C update rule and records the event. The caller
-// holds the object lock and the world read lock; the thread's clock needs no
-// lock (the calling goroutine owns it). The only cross-thread contention
-// left is the object stripe itself, the cover's read lock, and one atomic
-// increment.
+// commit applies the §III-C update rule in change-capture form and records
+// the event. The caller holds the object commit exclusion (mu exclusively
+// for writes; mu shared plus cmu for reads) and the world read lock; the
+// thread's clock needs no lock (the calling goroutine owns it). The only
+// cross-thread contention left is the object stripe itself, the cover's
+// read lock, and one atomic increment.
 func (t *Tracker) commit(th *Thread, o *Object, op event.Op) Stamped {
 	cover := t.cover.Load()
 	thrIdx, objIdx, width := cover.Observe(th.id, o.id)
@@ -271,15 +396,29 @@ func (t *Tracker) commit(th *Thread, o *Object, op event.Op) Stamped {
 		tv = core.NewBackendClock(t.backend)
 		th.clock = tv
 	}
-	if o.clock == nil {
-		o.clock = core.NewBackendClock(t.backend)
+	start := len(th.deltas)
+	var ticked bool
+	if th.lastObj == o && th.lastVer == o.ver {
+		// Re-acquisition fast path: the thread's last commit anywhere was
+		// on o (it set lastObj and lastVer) and o's version is unchanged,
+		// so no other thread has committed here since — th.clock and
+		// o.clock are the same value. The join is a no-op and the object
+		// can adopt the event clock by replaying just the tick deltas:
+		// O(1) at any clock width, the read-heavy steady state.
+		th.deltas, ticked = core.TickCovered(tv, thrIdx, objIdx, th.deltas)
+		o.clock.Apply(th.deltas[start:])
+	} else {
+		if o.clock == nil {
+			o.clock = core.NewBackendClock(t.backend)
+		}
+		// The thread absorbs the object's last full clock, ticks the
+		// covered endpoints, and the object re-absorbs the result — the
+		// same core.UpdateRule the offline clock runs, with the changes
+		// captured into the thread's arena instead of flattened.
+		th.deltas, ticked = core.UpdateRuleDelta(tv, o.clock, thrIdx, objIdx, width, th.deltas)
 	}
-	// The thread absorbs the object's last full clock, ticks the covered
-	// endpoints, and the object re-absorbs the result — the same
-	// core.UpdateRule the offline clock runs, only with the two clocks
-	// living in their own shards instead of one locked map. No copy of the
-	// object clock is taken at any point.
-	ticked := core.UpdateRule(tv, o.clock, thrIdx, objIdx, width)
+	o.ver++
+	th.lastObj, th.lastVer = o, o.ver
 
 	idx := int(t.seq.Add(1)) - 1
 	e := event.Event{Index: idx, Thread: th.id, Object: o.id, Op: op}
@@ -289,9 +428,15 @@ func (t *Tracker) commit(th *Thread, o *Object, op event.Op) Stamped {
 		t.noteErr(fmt.Errorf("track: event %d %v not covered by components %v",
 			idx, e, cover.ComponentsString()))
 	}
-	v := tv.Flatten()
-	th.buf = append(th.buf, record{ev: e, v: v})
-	return Stamped{Event: e, Vector: v, Epoch: t.epoch}
+	th.buf = append(th.buf, record{ev: e, start: start, end: len(th.deltas), width: width})
+	if th.cellsUsed == len(th.cells) {
+		th.cells = make([]stampCell, cellChunkSize)
+		th.cellsUsed = 0
+	}
+	cell := &th.cells[th.cellsUsed]
+	th.cellsUsed++
+	cell.t, cell.idx = t, idx
+	return Stamped{Event: e, Epoch: t.epoch, cell: cell}
 }
 
 // noteErr retains the first clock misuse.
@@ -304,16 +449,31 @@ func (t *Tracker) noteErr(err error) {
 }
 
 // mergeLocked drains every thread's append buffer into the canonical trace,
-// in trace-index order. The caller holds the world write lock, so no commit
-// is in flight and the indices below seq are all present exactly once.
+// in trace-index order, materializing each record's full stamp by replaying
+// the thread's delta arena forward from its previous materialization. The
+// caller holds the world write lock, so no commit is in flight and the
+// indices below seq are all present exactly once. This is where the
+// O(events·k) cost the hot path shed is actually paid — once, at the
+// barrier.
 func (t *Tracker) mergeLocked() {
+	type stamped struct {
+		ev event.Event
+		v  vclock.Vector
+	}
 	t.reg.Lock()
-	var pending []record
+	var pending []stamped
 	for _, th := range t.threads {
-		if len(th.buf) > 0 {
-			pending = append(pending, th.buf...)
-			th.buf = th.buf[:0]
+		if len(th.buf) == 0 {
+			continue
 		}
+		cur := th.base
+		for _, r := range th.buf {
+			cur = cur.Apply(th.deltas[r.start:r.end]).Grow(r.width)
+			pending = append(pending, stamped{ev: r.ev, v: cur.Clone()})
+		}
+		th.base = cur
+		th.buf = th.buf[:0]
+		th.deltas = th.deltas[:0]
 	}
 	t.reg.Unlock()
 	if len(pending) == 0 {
@@ -329,8 +489,27 @@ func (t *Tracker) mergeLocked() {
 	}
 }
 
-// Backend returns the clock representation the tracker was built with.
-func (t *Tracker) Backend() vclock.Backend { return t.backend }
+// stampAt quiesces the tracker and returns the (shared, internal) stamp of
+// event idx — the lazy-materialization path behind Stamped.
+func (t *Tracker) stampAt(idx int) vclock.Vector {
+	t.world.Lock()
+	defer t.world.Unlock()
+	t.mergeLocked()
+	if idx < 0 || idx >= len(t.stamps) {
+		// Unreachable for cells minted by commit; guard against decay.
+		return nil
+	}
+	return t.stamps[idx]
+}
+
+// Backend returns the clock representation the tracker currently builds
+// clocks in. For trackers created WithBackend(BackendAuto) this is the
+// resolved concrete backend, which may change at a Compact.
+func (t *Tracker) Backend() vclock.Backend {
+	t.world.RLock()
+	defer t.world.RUnlock()
+	return t.backend
+}
 
 // Size returns the current vector-clock size (number of components). The
 // atomic cover pointer makes this safe — and usable from inside a Do

@@ -62,7 +62,7 @@ func TestCrossThreadCausalityThroughObject(t *testing.T) {
 	wg.Wait()
 
 	if !produced.HappenedBefore(consumed) {
-		t.Fatalf("produce %v should precede consume %v", produced.Vector, consumed.Vector)
+		t.Fatalf("produce %v should precede consume %v", produced.Vector(), consumed.Vector())
 	}
 }
 
@@ -218,7 +218,7 @@ func TestNestedDo(t *testing.T) {
 	// The inner operation commits first and precedes the outer one in
 	// program order.
 	if !innerStamp.HappenedBefore(outerStamp) {
-		t.Fatalf("inner %v should precede outer %v", innerStamp.Vector, outerStamp.Vector)
+		t.Fatalf("inner %v should precede outer %v", innerStamp.Vector(), outerStamp.Vector())
 	}
 	if err := clock.Validate(tr.Trace(), tr.Stamps(), "nested"); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,114 @@
+package treeclock
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/vclock"
+)
+
+func TestTreeTickDelta(t *testing.T) {
+	tc := New(0)
+	var ds []vclock.Delta
+	ds = tc.TickDelta(2, ds)
+	ds = tc.TickDelta(2, ds)
+	ds = tc.TickDelta(0, ds)
+	want := []vclock.Delta{{Index: 2, Value: 1}, {Index: 2, Value: 2}, {Index: 0, Value: 1}}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("delta %d = %v, want %v", i, ds[i], want[i])
+		}
+	}
+	requireFlat(t, tc, vclock.Vector{1, 0, 2}, "after captured ticks")
+}
+
+func TestTreeApplyKeepsInvariants(t *testing.T) {
+	tc := FromVector(vclock.Vector{1, 0, 2, 3})
+	tc.Apply([]vclock.Delta{{Index: 1, Value: 4}, {Index: 0, Value: 2}, {Index: 1, Value: 5}})
+	requireFlat(t, tc, vclock.Vector{2, 5, 2, 3}, "after Apply")
+	if err := checkInvariants(tc); err != nil {
+		t.Fatal(err)
+	}
+	// Equal or smaller values are ignored (monotone replay contract).
+	tc.Apply([]vclock.Delta{{Index: 0, Value: 2}, {Index: 2, Value: 1}})
+	requireFlat(t, tc, vclock.Vector{2, 5, 2, 3}, "after no-op Apply")
+}
+
+// TestJoinDeltaMatchesFlatCapture runs the mixed-clock discipline over both
+// backends with change capture on, checking per event that (a) the two
+// backends capture the same change set and (b) replaying either capture onto
+// the previous flat stamp reproduces the new one. The tree side emits its
+// deltas straight from the mark walk, so this also pins the fused
+// detach/attach join against the reference.
+func TestJoinDeltaMatchesFlatCapture(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		const nThreads, nObjects, events = 5, 5, 250
+
+		flatT := make([]*vclock.Flat, nThreads)
+		treeT := make([]*TreeClock, nThreads)
+		shadowT := make([]vclock.Vector, nThreads)
+		for i := range flatT {
+			flatT[i], treeT[i] = vclock.NewFlat(0), New(0)
+		}
+		flatO := make([]*vclock.Flat, nObjects)
+		treeO := make([]*TreeClock, nObjects)
+		for i := range flatO {
+			flatO[i], treeO[i] = vclock.NewFlat(0), New(0)
+		}
+
+		var fds, tds []vclock.Delta
+		for ev := 0; ev < events; ev++ {
+			tid := rng.Intn(nThreads)
+			oid := rng.Intn(nObjects)
+			step := func(tv, ov vclock.Clock, ds []vclock.Delta) []vclock.Delta {
+				ds = tv.JoinDelta(ov, ds[:0])
+				ds = tv.TickDelta(nThreads+oid, ds)
+				ds = tv.TickDelta(tid, ds)
+				ov.Join(tv)
+				return ds
+			}
+			fds = step(flatT[tid], flatO[oid], fds)
+			tds = step(treeT[tid], treeO[oid], tds)
+
+			if !flatT[tid].Flatten().Equal(treeT[tid].Flatten()) {
+				t.Fatalf("seed %d event %d: backends diverge: flat %v, tree %v",
+					seed, ev, flatT[tid].Flatten(), treeT[tid].Flatten())
+			}
+			// Same change set, order and duplicates aside.
+			fset := deltaSet(fds)
+			tset := deltaSet(tds)
+			if len(fset) != len(tset) {
+				t.Fatalf("seed %d event %d: capture sets differ: flat %v, tree %v", seed, ev, fds, tds)
+			}
+			for k, v := range fset {
+				if tset[k] != v {
+					t.Fatalf("seed %d event %d: component %d: flat captured %d, tree %d",
+						seed, ev, k, v, tset[k])
+				}
+			}
+			// Replay of the tree capture onto the previous stamp must equal
+			// the new stamp.
+			shadowT[tid] = shadowT[tid].Apply(tds)
+			if !shadowT[tid].Equal(treeT[tid].Flatten()) {
+				t.Fatalf("seed %d event %d: replay %v != live %v",
+					seed, ev, shadowT[tid], treeT[tid].Flatten())
+			}
+			if err := checkInvariants(treeT[tid]); err != nil {
+				t.Fatalf("seed %d event %d: %v", seed, ev, err)
+			}
+			if err := checkInvariants(treeO[oid]); err != nil {
+				t.Fatalf("seed %d event %d: object: %v", seed, ev, err)
+			}
+		}
+	}
+}
+
+// deltaSet folds an assignment sequence into its final per-component values.
+func deltaSet(ds []vclock.Delta) map[int32]uint64 {
+	m := make(map[int32]uint64, len(ds))
+	for _, d := range ds {
+		m[d.Index] = d.Value
+	}
+	return m
+}

@@ -166,29 +166,60 @@ func (tc *TreeClock) Join(other vclock.Clock) {
 	}
 	// Phase 1: mark the nodes of o that beat tc, using tc's pre-join
 	// values throughout (the sibling break compares against what tc knew
-	// of the parent before this join).
+	// of the parent before this join). Phase 2: fold the marks in.
 	marks := tc.mark(o)
 	if len(marks) == 0 {
 		return
 	}
 	tc.Grow(o.Width())
-	// Phase 2a: detach every marked component from tc's forest and adopt
-	// the new value. All detaches happen before any attach so that
-	// re-homing a node under what used to be its own descendant cannot
-	// form a cycle — the descendant, being marked too, has already been
-	// pulled out.
+	tc.applyMarks(marks)
+}
+
+// JoinDelta implements vclock.Clock. The capture is free: the mark walk that
+// Join runs anyway visits exactly the components whose value increases, so
+// the delta list is the mark list re-emitted as (index, value) pairs.
+func (tc *TreeClock) JoinDelta(other vclock.Clock, dst []vclock.Delta) []vclock.Delta {
+	o, ok := other.(*TreeClock)
+	if !ok {
+		return tc.joinGenericDelta(other, dst)
+	}
+	if o == tc {
+		return dst
+	}
+	marks := tc.mark(o)
+	if len(marks) == 0 {
+		return dst
+	}
+	tc.Grow(o.Width())
 	for _, m := range marks {
+		dst = append(dst, vclock.Delta{Index: m.comp, Value: m.clk})
+	}
+	tc.applyMarks(marks)
+	return dst
+}
+
+// applyMarks folds the mark list into tc's forest in a single reverse-order
+// pass, fusing what used to be separate detach-all and attach-all phases:
+// each mark is detached, adopts its new value, and re-attaches (or becomes a
+// root) in one step. Reverse order attaches later (lower-aclk) siblings
+// first, so each parent's new children end up front-most in attachment
+// order, preserving the aclk-descending sibling invariant.
+//
+// Interleaving detaches with attaches can transiently link a node under what
+// is still — in tc's old forest — its own descendant. That cycle is harmless:
+// neither detach nor attachFront traverses the forest, and the descendant's
+// mark-parent is itself a mark, so by the end of the pass every marked node
+// has been unlinked from its stale position and sits exactly where o's
+// structure dictates. A node's own parent/prev/next links are only touched
+// by its own iteration, and children attached to it by earlier iterations
+// ride along through its detach.
+func (tc *TreeClock) applyMarks(marks []mark) {
+	for i := len(marks) - 1; i >= 0; i-- {
+		m := marks[i]
 		if tc.clks[m.comp] > 0 {
 			tc.detach(m.comp)
 		}
 		tc.clks[m.comp] = m.clk
-	}
-	// Phase 2b: re-attach following o's structure, in reverse mark order.
-	// Reversal attaches later (lower-aclk) siblings first, so each parent's
-	// new children end up front-most in attachment order, preserving the
-	// aclk-descending sibling invariant.
-	for i := len(marks) - 1; i >= 0; i-- {
-		m := marks[i]
 		if m.parent == none {
 			tc.roots = append(tc.roots, m.comp)
 		} else {
@@ -269,17 +300,52 @@ func (tc *TreeClock) joinGeneric(other vclock.Clock) {
 	n := other.Width()
 	tc.Grow(n)
 	for i := 0; i < n; i++ {
-		x := other.At(i)
-		if x <= tc.clks[i] {
-			continue
+		if x := other.At(i); x > tc.clks[i] {
+			tc.raise(int32(i), x)
 		}
-		c := int32(i)
-		if tc.clks[i] > 0 {
-			tc.detach(c)
-		}
-		tc.clks[i] = x
-		tc.roots = append(tc.roots, c)
 	}
+}
+
+// joinGenericDelta is joinGeneric with change capture.
+func (tc *TreeClock) joinGenericDelta(other vclock.Clock, dst []vclock.Delta) []vclock.Delta {
+	n := other.Width()
+	tc.Grow(n)
+	for i := 0; i < n; i++ {
+		if x := other.At(i); x > tc.clks[i] {
+			tc.raise(int32(i), x)
+			dst = append(dst, vclock.Delta{Index: int32(i), Value: x})
+		}
+	}
+	return dst
+}
+
+// TickDelta implements vclock.Clock.
+func (tc *TreeClock) TickDelta(i int, dst []vclock.Delta) []vclock.Delta {
+	tc.Tick(i)
+	return append(dst, vclock.Delta{Index: int32(i), Value: tc.clks[i]})
+}
+
+// Apply implements vclock.Clock: replayed components are raised like a
+// generic join — they keep their retained subtrees and become roots, there
+// being no learning history in a bare change list to place them deeper.
+func (tc *TreeClock) Apply(ds []vclock.Delta) {
+	for _, d := range ds {
+		i := int(d.Index)
+		tc.Grow(i + 1)
+		if d.Value > tc.clks[i] {
+			tc.raise(d.Index, d.Value)
+		}
+	}
+}
+
+// raise sets component c to the strictly larger value x, detaching it from
+// any stale position and re-rooting it (its subtree rides along).
+func (tc *TreeClock) raise(c int32, x uint64) {
+	if tc.clks[c] > 0 {
+		tc.detach(c)
+	}
+	tc.clks[c] = x
+	tc.roots = append(tc.roots, c)
 }
 
 // Compare implements vclock.Clock.

@@ -19,6 +19,22 @@ type Clock interface {
 	// Join folds other into the receiver: the receiver becomes the
 	// componentwise maximum of the two. The argument is not modified.
 	Join(other Clock)
+	// TickDelta is Tick that also appends the change it made — one
+	// (index, value) pair — to dst, returning the extended slice. The
+	// buffer is caller-owned scratch: implementations only append.
+	TickDelta(i int, dst []Delta) []Delta
+	// JoinDelta is Join that also appends one (index, value) pair per
+	// component whose value actually increased, in some implementation
+	// order, to dst. Components the join left unchanged are never
+	// reported, so on causally local workloads the capture is much
+	// smaller than the clock width.
+	JoinDelta(other Clock, dst []Delta) []Delta
+	// Apply replays a captured change sequence: each (index, value) pair
+	// assigns the component, growing the clock as needed. Values must be
+	// monotone (each at least the component's current value) — the only
+	// sequences the capture methods produce — or the clock's internal
+	// invariants may not survive.
+	Apply(ds []Delta)
 	// Compare orders the receiver against other, missing components
 	// comparing as zero.
 	Compare(other Clock) Ordering
@@ -56,29 +72,41 @@ const (
 	// Viswanathan (PLDI 2022): joins skip already-dominated subtrees, so
 	// hot paths with causal locality pay far less than O(k).
 	BackendTree
+	// BackendAuto defers the choice to the runtime: flat while the
+	// component set is narrow, tree once it is wide enough (and the join
+	// shape local enough) for subtree pruning to pay — the thresholds
+	// core.ChooseBackend derives from BenchmarkBackends. Auto is a policy,
+	// not a representation: constructors resolve it to Flat or Tree before
+	// building a clock.
+	BackendAuto
 )
 
-// String returns "flat" or "tree".
+// String returns "flat", "tree" or "auto".
 func (b Backend) String() string {
 	switch b {
 	case BackendFlat:
 		return "flat"
 	case BackendTree:
 		return "tree"
+	case BackendAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
 }
 
-// ParseBackend maps "flat" and "tree" to their Backend, for flag parsing.
+// ParseBackend maps "flat", "tree" and "auto" to their Backend, for flag
+// parsing.
 func ParseBackend(s string) (Backend, error) {
 	switch s {
 	case "flat":
 		return BackendFlat, nil
 	case "tree":
 		return BackendTree, nil
+	case "auto":
+		return BackendAuto, nil
 	default:
-		return 0, fmt.Errorf("vclock: unknown backend %q (want flat or tree)", s)
+		return 0, fmt.Errorf("vclock: unknown backend %q (want flat, tree or auto)", s)
 	}
 }
 
@@ -119,6 +147,41 @@ func (f *Flat) Join(other Clock) {
 		}
 	}
 }
+
+// TickDelta implements Clock.
+func (f *Flat) TickDelta(i int, dst []Delta) []Delta {
+	f.v = f.v.Tick(i)
+	return append(dst, Delta{Index: int32(i), Value: f.v[i]})
+}
+
+// JoinDelta implements Clock. The scan is still O(width) — the flat form has
+// no way to know what changed without looking — but the capture itself costs
+// only the components that rose, and nothing is allocated beyond dst's own
+// growth.
+func (f *Flat) JoinDelta(other Clock, dst []Delta) []Delta {
+	if o, ok := other.(*Flat); ok {
+		f.v = f.v.Grow(len(o.v))
+		for i, x := range o.v {
+			if x > f.v[i] {
+				f.v[i] = x
+				dst = append(dst, Delta{Index: int32(i), Value: x})
+			}
+		}
+		return dst
+	}
+	n := other.Width()
+	f.v = f.v.Grow(n)
+	for i := 0; i < n; i++ {
+		if x := other.At(i); x > f.v[i] {
+			f.v[i] = x
+			dst = append(dst, Delta{Index: int32(i), Value: x})
+		}
+	}
+	return dst
+}
+
+// Apply implements Clock.
+func (f *Flat) Apply(ds []Delta) { f.v = f.v.Apply(ds) }
 
 // Compare implements Clock.
 func (f *Flat) Compare(other Clock) Ordering {

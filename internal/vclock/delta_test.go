@@ -1,0 +1,123 @@
+package vclock_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/vclock"
+)
+
+func TestVectorApply(t *testing.T) {
+	v := vclock.Vector{1, 2}
+	v = v.Apply([]vclock.Delta{{Index: 0, Value: 3}, {Index: 4, Value: 1}})
+	if !v.Equal(vclock.Vector{3, 2, 0, 0, 1}) {
+		t.Fatalf("Apply = %v", v)
+	}
+	// Later entries override earlier ones (join raise then tick).
+	v = vclock.Vector(nil).Apply([]vclock.Delta{{Index: 1, Value: 5}, {Index: 1, Value: 6}})
+	if !v.Equal(vclock.Vector{0, 6}) {
+		t.Fatalf("last-wins Apply = %v", v)
+	}
+	if got := (vclock.Vector{7}).Apply(nil); !got.Equal(vclock.Vector{7}) {
+		t.Fatalf("empty Apply = %v", got)
+	}
+}
+
+func TestFlatTickDelta(t *testing.T) {
+	f := vclock.NewFlat(0)
+	var ds []vclock.Delta
+	ds = f.TickDelta(2, ds)
+	ds = f.TickDelta(2, ds)
+	ds = f.TickDelta(0, ds)
+	want := []vclock.Delta{{Index: 2, Value: 1}, {Index: 2, Value: 2}, {Index: 0, Value: 1}}
+	if len(ds) != len(want) {
+		t.Fatalf("deltas = %v", ds)
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("delta %d = %v, want %v", i, ds[i], want[i])
+		}
+	}
+	if !f.Flatten().Equal(vclock.Vector{1, 0, 2}) {
+		t.Fatalf("clock after ticks = %v", f.Flatten())
+	}
+}
+
+func TestFlatJoinDeltaReportsOnlyRaises(t *testing.T) {
+	a := vclock.FlatOf(vclock.Vector{3, 0, 1})
+	b := vclock.FlatOf(vclock.Vector{1, 2, 1, 4})
+	ds := a.JoinDelta(b, nil)
+	if !a.Flatten().Equal(vclock.Vector{3, 2, 1, 4}) {
+		t.Fatalf("join result = %v", a.Flatten())
+	}
+	want := []vclock.Delta{{Index: 1, Value: 2}, {Index: 3, Value: 4}}
+	if len(ds) != len(want) {
+		t.Fatalf("deltas = %v, want %v", ds, want)
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("delta %d = %v, want %v", i, ds[i], want[i])
+		}
+	}
+	// A dominated join changes nothing and reports nothing.
+	if ds := a.JoinDelta(b, ds[:0]); len(ds) != 0 {
+		t.Fatalf("dominated join reported %v", ds)
+	}
+}
+
+func TestFlatApplyMatchesCapture(t *testing.T) {
+	a := vclock.FlatOf(vclock.Vector{2, 0, 5})
+	b := vclock.FlatOf(vclock.Vector{1, 7, 5, 1})
+	pre := a.Flatten()
+	var ds []vclock.Delta
+	ds = a.JoinDelta(b, ds)
+	ds = a.TickDelta(0, ds)
+
+	replayed := vclock.FlatOf(pre)
+	replayed.Apply(ds)
+	if !replayed.Flatten().Equal(a.Flatten()) {
+		t.Fatalf("replay %v != live %v", replayed.Flatten(), a.Flatten())
+	}
+	if got := pre.Apply(ds); !got.Equal(a.Flatten()) {
+		t.Fatalf("Vector.Apply %v != live %v", got, a.Flatten())
+	}
+}
+
+// TestDeltaCaptureRandomized drives random join/tick sequences through a
+// capturing clock and a shadow that only sees the captured deltas; the two
+// must stay identical. This is the contract the track record buffers and the
+// delta-encoded trace log both rest on: predecessor.Apply(deltas) is the
+// successor, exactly.
+func TestDeltaCaptureRandomized(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const width, peers, steps = 12, 4, 200
+		live := vclock.NewFlat(0)
+		shadow := vclock.Vector(nil)
+		peerClocks := make([]*vclock.Flat, peers)
+		for i := range peerClocks {
+			v := make(vclock.Vector, width)
+			for j := range v {
+				v[j] = uint64(rng.Intn(6))
+			}
+			peerClocks[i] = vclock.FlatOf(v)
+		}
+		var ds []vclock.Delta
+		for s := 0; s < steps; s++ {
+			ds = ds[:0]
+			if rng.Intn(2) == 0 {
+				ds = live.JoinDelta(peerClocks[rng.Intn(peers)], ds)
+			} else {
+				ds = live.TickDelta(rng.Intn(width), ds)
+			}
+			shadow = shadow.Apply(ds)
+			if !shadow.Equal(live.Flatten()) {
+				t.Fatalf("seed %d step %d: shadow %v, live %v", seed, s, shadow, live.Flatten())
+			}
+			// Peers advance too so joins keep finding new values.
+			p := peerClocks[rng.Intn(peers)]
+			p.Join(live)
+			p.Tick(rng.Intn(width))
+		}
+	}
+}

@@ -96,10 +96,14 @@ const (
 // Clock backends. Flat is the reference []uint64 representation and the
 // default everywhere; Tree is the tree clock of Mathur et al. (PLDI 2022)
 // over the mixed component space, whose joins skip already-dominated
-// subtrees. Both produce identical timestamps.
+// subtrees. Both produce identical timestamps. Auto defers the choice to
+// the observed computation: offline clocks resolve it from the analyzed
+// width and join shape, a Tracker starts flat and re-decides at every
+// Compact.
 const (
 	Flat = vclock.BackendFlat
 	Tree = vclock.BackendTree
+	Auto = vclock.BackendAuto
 )
 
 // NewTrace returns an empty computation; use Append to add operations.
@@ -170,11 +174,21 @@ func WriteLog(w io.Writer, tr *Trace, stamps []Vector) error {
 	return tlog.WriteAll(w, tr, stamps)
 }
 
+// WriteLogDelta persists a timestamped computation in the delta-encoded log
+// format: records carry only the components that changed against the same
+// thread's previous stamp, with periodic full-vector sync points. Same
+// truncation semantics as WriteLog, typically a fraction of the size on
+// wide clocks; ReadLog reads either format transparently.
+func WriteLogDelta(w io.Writer, tr *Trace, stamps []Vector) error {
+	return tlog.WriteAllDelta(w, tr, stamps)
+}
+
 // ErrLogTruncated wraps reads of logs cut short by a crash; ReadLog returns
 // it together with the readable prefix.
 var ErrLogTruncated = tlog.ErrTruncated
 
-// ReadLog loads a timestamped computation written by WriteLog. On
+// ReadLog loads a timestamped computation written by WriteLog or
+// WriteLogDelta (the header says which format a stream carries). On
 // truncation it returns the complete-record prefix along with an error
 // wrapping ErrLogTruncated.
 func ReadLog(r io.Reader) (*Trace, []Vector, error) {
