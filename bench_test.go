@@ -8,6 +8,7 @@ package mixedclock_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"testing"
@@ -153,30 +154,52 @@ func BenchmarkTimestamp(b *testing.B) {
 	}
 }
 
+// deepJoinTrace builds the deep-join shape at a given width: every thread
+// touches a private object once (forcing a wide cover that then goes
+// quiescent), after which two threads ping-pong through one token object —
+// a causal chain thousands of joins deep where each join changes only the
+// chain's own components.
+func deepJoinTrace(threads, rounds int) *mixedclock.Trace {
+	deep := mixedclock.NewTrace()
+	for i := 0; i < threads; i++ {
+		deep.Append(mixedclock.ThreadID(i), mixedclock.ObjectID(i), mixedclock.OpWrite)
+	}
+	token := mixedclock.ObjectID(threads)
+	for r := 0; r < rounds; r++ {
+		deep.Append(0, token, mixedclock.OpWrite)
+		deep.Append(1, token, mixedclock.OpWrite)
+	}
+	return deep
+}
+
+// readHeavyTrace builds the read-heavy shape at a given width: after one
+// covering pass, every thread re-reads only its own object — each join is
+// already dominated.
+func readHeavyTrace(threads, rounds int) *mixedclock.Trace {
+	reads := mixedclock.NewTrace()
+	for r := 0; r <= rounds; r++ {
+		for i := 0; i < threads; i++ {
+			op := mixedclock.OpRead
+			if r == 0 {
+				op = mixedclock.OpWrite
+			}
+			reads.Append(mixedclock.ThreadID(i), mixedclock.ObjectID(i), op)
+		}
+	}
+	return reads
+}
+
 // backendTraces builds the workload shapes for the flat-vs-tree backend
 // head-to-head. Each shape stresses a different join profile over a wide
 // component set (hundreds of components), which is where the representations
 // diverge: flat pays O(width) per event regardless, tree pays only for the
-// components each join changes.
+// components each join changes. The w64/w128 variants of the causally local
+// shapes bracket the flat→tree crossover that core.ChooseBackend's
+// AutoTreeWidth threshold encodes.
 func backendTraces() []struct {
 	name string
 	tr   *mixedclock.Trace
 } {
-	// deep-join: every thread touches a private object once (forcing a wide
-	// cover that then goes quiescent), after which two threads ping-pong
-	// through one token object — a causal chain thousands of joins deep
-	// where each join changes only the chain's own components.
-	deep := mixedclock.NewTrace()
-	const deepThreads, deepRounds = 256, 6000
-	for i := 0; i < deepThreads; i++ {
-		deep.Append(mixedclock.ThreadID(i), mixedclock.ObjectID(i), mixedclock.OpWrite)
-	}
-	token := mixedclock.ObjectID(deepThreads)
-	for r := 0; r < deepRounds; r++ {
-		deep.Append(0, token, mixedclock.OpWrite)
-		deep.Append(1, token, mixedclock.OpWrite)
-	}
-
 	// wide-fanin: producers tick private mailboxes, one collector sweeps
 	// all of them every round.
 	fanin := mixedclock.NewTrace()
@@ -187,20 +210,6 @@ func backendTraces() []struct {
 		}
 		for i := 1; i <= producers; i++ {
 			fanin.Append(0, mixedclock.ObjectID(i), mixedclock.OpRead)
-		}
-	}
-
-	// read-heavy: after one covering pass, every thread re-reads only its
-	// own object — each join is already dominated.
-	reads := mixedclock.NewTrace()
-	const readThreads, readRounds = 256, 60
-	for r := 0; r <= readRounds; r++ {
-		for i := 0; i < readThreads; i++ {
-			op := mixedclock.OpRead
-			if r == 0 {
-				op = mixedclock.OpWrite
-			}
-			reads.Append(mixedclock.ThreadID(i), mixedclock.ObjectID(i), op)
 		}
 	}
 
@@ -216,9 +225,13 @@ func backendTraces() []struct {
 		name string
 		tr   *mixedclock.Trace
 	}{
-		{"deep-join", deep},
+		{"deep-join", deepJoinTrace(256, 6000)},
+		{"deep-join-w64", deepJoinTrace(64, 6000)},
+		{"deep-join-w128", deepJoinTrace(128, 6000)},
 		{"wide-fanin", fanin},
-		{"read-heavy", reads},
+		{"read-heavy", readHeavyTrace(256, 60)},
+		{"read-heavy-w64", readHeavyTrace(64, 240)},
+		{"read-heavy-w128", readHeavyTrace(128, 120)},
 		{"seeded-hotset", seeded},
 	}
 }
@@ -381,13 +394,15 @@ func BenchmarkTracker(b *testing.B) {
 // object grid on both clock backends — the scaling benchmark for the sharded
 // hot path. Each goroutine drives its own Thread (as the API requires) over
 // a slice of shared objects; with the global tracker lock gone, the only
-// cross-goroutine contention left is the object stripes themselves, so
-// throughput should grow with goroutines until the object set saturates.
-// CI's benchmark-regression gate compares this (and BenchmarkBackends)
-// against the PR base via benchstat + cmd/benchdiff.
+// cross-goroutine contention left is the object stripes, the sharded world
+// barrier's per-thread reader counts (track/world.go), and the padded trace
+// index — the goroutines=32 point is where the per-shard cache-line padding
+// shows up on many-core runners. CI's benchmark-regression gate compares
+// this (and BenchmarkBackends) against the PR base via benchstat +
+// cmd/benchdiff.
 func BenchmarkTrackerParallel(b *testing.B) {
 	for _, backend := range []mixedclock.Backend{mixedclock.Flat, mixedclock.Tree} {
-		for _, goroutines := range []int{1, 2, 4, 8} {
+		for _, goroutines := range []int{1, 2, 4, 8, 32} {
 			for _, objects := range []int{8, 64} {
 				name := fmt.Sprintf("%v/goroutines=%d/objects=%d", backend, goroutines, objects)
 				b.Run(name, func(b *testing.B) {
@@ -497,6 +512,72 @@ func BenchmarkStamp(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkSnapshotStream compares the two ways of exporting a live
+// tracker's history as a delta log: SnapshotTo (the streaming pipeline —
+// sealed segments and the tail feed the log writer record by record) versus
+// materializing Snapshot() and handing the vector table to WriteLogDelta.
+// The contract CI's -benchmem gate locks in: the streaming path's B/op is
+// O(1) in the event count — constant writer/reader state, no per-event
+// allocation — so it stays flat across the 10× events sweep, while the
+// materializing path grows with events × width. The sealed variant seals
+// every 4096 events first, so the stream also exercises segment decode
+// (its B/op grows only with the segment count, ~3 orders of magnitude
+// below the vector table).
+func BenchmarkSnapshotStream(b *testing.B) {
+	build := func(events int, seal bool) *mixedclock.Tracker {
+		var opts []mixedclock.TrackerOption
+		if seal {
+			opts = append(opts, mixedclock.WithSpill(mixedclock.SpillPolicy{SealEvents: 4096}))
+		}
+		tracker := mixedclock.NewTracker(opts...)
+		const nThreads, nObjects = 8, 32
+		threads := make([]*mixedclock.Thread, nThreads)
+		for i := range threads {
+			threads[i] = tracker.NewThread("w")
+		}
+		objs := make([]*mixedclock.Object, nObjects)
+		for i := range objs {
+			objs[i] = tracker.NewObject("o")
+		}
+		for i := 0; i < events; i++ {
+			threads[i%nThreads].Write(objs[(i*7)%nObjects], nil)
+		}
+		if err := tracker.Err(); err != nil {
+			b.Fatal(err)
+		}
+		return tracker
+	}
+	for _, events := range []int{5_000, 50_000} {
+		plain := build(events, false)
+		sealed := build(events, true)
+		b.Run(fmt.Sprintf("stream/events=%d", events), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := plain.SnapshotTo(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stream-sealed/events=%d", events), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := sealed.SnapshotTo(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("materialize/events=%d", events), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr, stamps := plain.Snapshot()
+				if err := mixedclock.WriteLogDelta(io.Discard, tr, stamps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

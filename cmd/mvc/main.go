@@ -10,9 +10,13 @@
 //	mvc validate  [-trace FILE]            prove every clock scheme valid on this trace
 //	mvc graph     [-trace FILE]            Graphviz DOT with the minimum cover filled
 //	mvc export    [-trace FILE] -out LOG [-format full|delta]
+//	              [-live [-spill DIR] [-seal N]]
 //	                                       timestamp and write a binary .mvclog
 //	mvc inspect   -log LOG [-n N]          read a binary log, either format
 //	                                       (tolerates truncation)
+//	mvc segments  [-out LOG] [-n N] FILE...
+//	                                       inspect .mvcseg spill files, or
+//	                                       merge them into one log
 //
 // Traces are JSON Lines as produced by tracegen (one {"i","t","o","op"}
 // object per line); -trace defaults to stdin.
@@ -26,14 +30,24 @@
 // export's -format=delta writes the delta-encoded log: per-thread changed
 // components instead of full vectors, streamed straight from the clock's
 // change capture. inspect auto-detects the format from the header.
+//
+// export -live replays the trace through the live tracker's epoch-segment
+// pipeline instead of the offline clock: events stream through a Tracker
+// (whose online mechanism discovers the components), optionally sealing
+// every -seal events and spilling sealed segments to -spill DIR, and the
+// log is produced by Tracker.SnapshotTo/Stream — no vector table is ever
+// materialized, whatever the trace length. The spill directory it leaves
+// behind is what mvc segments inspects and merges.
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"mixedclock/internal/baseline"
 	"mixedclock/internal/clock"
@@ -42,6 +56,7 @@ import (
 	"mixedclock/internal/detect"
 	"mixedclock/internal/event"
 	"mixedclock/internal/tlog"
+	"mixedclock/internal/track"
 	"mixedclock/internal/vclock"
 )
 
@@ -61,6 +76,9 @@ func main() {
 	logPath := fs.String("log", "", "inspect: input .mvclog path")
 	backendName := fs.String("backend", "flat", "clock representation: flat, tree or auto")
 	format := fs.String("format", "full", "export: log encoding, full or delta")
+	live := fs.Bool("live", false, "export: replay through the live tracker's segment pipeline")
+	spillDir := fs.String("spill", "", "export -live: spill sealed segments to this directory")
+	seal := fs.Int("seal", 0, "export -live: seal every N events (0: only at the end)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -69,9 +87,15 @@ func main() {
 		fatal(err)
 	}
 
-	// inspect reads a binary log, not a JSONL trace.
+	// inspect and segments read binary artifacts, not a JSONL trace.
 	if cmd == "inspect" {
 		if err := inspect(os.Stdout, *logPath, *n); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if cmd == "segments" {
+		if err := segmentsCmd(os.Stdout, fs.Args(), *out, *n); err != nil {
 			fatal(err)
 		}
 		return
@@ -98,7 +122,11 @@ func main() {
 	case "graph":
 		err = graph(os.Stdout, tr)
 	case "export":
-		err = export(os.Stdout, tr, *out, backend, *format)
+		if *live {
+			err = exportLive(os.Stdout, tr, *out, backend, *format, *spillDir, *seal)
+		} else {
+			err = export(os.Stdout, tr, *out, backend, *format)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -109,7 +137,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mvc {analyze|timestamp|order|detect|recover|validate|graph|export|inspect} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mvc {analyze|timestamp|order|detect|recover|validate|graph|export|inspect|segments} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'mvc <command> -h' for command flags")
 }
 
@@ -320,6 +348,254 @@ func export(w io.Writer, tr *event.Trace, out string, b vclock.Backend, format s
 	}
 	fmt.Fprintf(w, "wrote %d timestamped events (%d components, %s format) to %s\n",
 		tr.Len(), a.VectorSize(), format, out)
+	return nil
+}
+
+// exportLive replays the trace through the live tracker's epoch-segment
+// pipeline and streams the log out of it: the tracker's online mechanism
+// discovers the components, sealed segments (and the tail) feed the log
+// writer record by record, and no vector table is ever built. With -spill
+// the run's sealed history also lands as .mvcseg files for mvc segments.
+func exportLive(w io.Writer, tr *event.Trace, out string, b vclock.Backend, format, spillDir string, seal int) error {
+	if out == "" {
+		return fmt.Errorf("export needs -out")
+	}
+	if format != "full" && format != "delta" {
+		return fmt.Errorf("export: unknown -format %q (want full or delta)", format)
+	}
+	tracker := track.NewTracker(track.WithBackend(b),
+		track.WithSpill(track.SpillPolicy{Dir: spillDir, SealEvents: seal}))
+	threads := make([]*track.Thread, tr.Threads())
+	for i := range threads {
+		threads[i] = tracker.NewThread(fmt.Sprintf("T%d", i+1))
+	}
+	objects := make([]*track.Object, tr.Objects())
+	for i := range objects {
+		objects[i] = tracker.NewObject(fmt.Sprintf("O%d", i+1))
+	}
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.At(i)
+		threads[e.Thread].Do(objects[e.Object], e.Op, nil)
+	}
+	// Seal the remaining tail — this is what "-seal 0: only at the end"
+	// promises, and it is what puts the final events into -spill DIR.
+	if err := tracker.Seal(); err != nil {
+		return err
+	}
+	if err := tracker.Err(); err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	write := func() error {
+		if format == "delta" {
+			return tracker.SnapshotTo(f)
+		}
+		lw := tlog.NewWriter(f)
+		if err := tracker.Stream(fullVectorSink{lw}); err != nil {
+			return err
+		}
+		return lw.Flush()
+	}
+	if err := write(); err != nil {
+		// The stream writes as it decodes, so an error can leave a partial
+		// log; don't leave it lying around to be mistaken for a good one.
+		f.Close()
+		os.Remove(out)
+		return err
+	}
+	segs := tracker.Segments()
+	spilled := 0
+	for _, sg := range segs {
+		if sg.Path != "" {
+			spilled++
+		}
+	}
+	fmt.Fprintf(w, "wrote %d timestamped events (%d components, %s format, live pipeline) to %s\n",
+		tracker.Events(), tracker.Size(), format, out)
+	fmt.Fprintf(w, "sealed %d segments (%d spilled to %s)\n", len(segs), spilled, spillDisplay(spillDir))
+	return nil
+}
+
+func spillDisplay(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}
+
+// fullVectorSink adapts the full-format log writer to the tracker's stream.
+type fullVectorSink struct{ w *tlog.Writer }
+
+func (s fullVectorSink) ConsumeStamp(e event.Event, _ int, v vclock.Vector) error {
+	return s.w.Append(e, v)
+}
+
+// segRef addresses one segment inside a (possibly multi-segment) spill
+// file without holding its records: the byte offset recorded by the scan
+// pass lets later passes seek straight to it instead of re-decoding the
+// segments before it.
+type segRef struct {
+	path   string
+	offset int64
+	meta   tlog.SegmentMeta
+}
+
+// countReader counts bytes handed to the bufio layer, so the scan pass can
+// compute each segment's file offset as consumed-minus-buffered.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// withSegment reopens ref's file at the segment's offset and hands the
+// record iterator to fn.
+func withSegment(ref segRef, fn func(*tlog.SegmentReader) error) error {
+	f, err := os.Open(ref.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(ref.offset, io.SeekStart); err != nil {
+		return fmt.Errorf("%s: %w", ref.path, err)
+	}
+	sr, err := tlog.NewSegmentReader(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", ref.path, err)
+	}
+	return fn(sr)
+}
+
+// segmentsCmd inspects .mvcseg spill files (as left behind by a
+// track.SpillPolicy or export -live -spill) and, with -out, merges them
+// back into a single delta log readable by mvc inspect. Records stream
+// through one at a time in both modes — the whole point of the spill files
+// is that history needn't fit in memory, and inspecting them must not undo
+// that.
+func segmentsCmd(w io.Writer, files []string, out string, n int) error {
+	if len(files) == 0 {
+		return fmt.Errorf("segments needs at least one .mvcseg file (spill files are seg-*.mvcseg)")
+	}
+	// Scan pass: collect segment metas and offsets, fully decoding (but not
+	// retaining) every record so corruption surfaces before any output is
+	// produced.
+	var refs []segRef
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		cr := &countReader{r: f}
+		br := bufio.NewReader(cr)
+		for {
+			offset := cr.n - int64(br.Buffered())
+			sr, err := tlog.NewSegmentReader(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			for i := 0; ; i++ {
+				if _, _, err := sr.Next(); err == io.EOF {
+					break
+				} else if err != nil {
+					f.Close()
+					return fmt.Errorf("%s: record %d: %w", path, i, err)
+				}
+			}
+			refs = append(refs, segRef{path: path, offset: offset, meta: sr.Meta()})
+		}
+		f.Close()
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].meta.FirstIndex < refs[j].meta.FirstIndex })
+	// Continuity check: interior gaps AND a missing prefix warn — without
+	// the warning a merge of a partial spill set would silently renumber
+	// events (the log format does not carry indices).
+	next, total := 0, 0
+	for _, ref := range refs {
+		if ref.meta.FirstIndex < next {
+			return fmt.Errorf("segments overlap: %v begins inside the previous one", ref.meta)
+		}
+		if ref.meta.FirstIndex > next {
+			fmt.Fprintf(w, "warning: gap before %v (events %d-%d missing)\n",
+				ref.meta, next, ref.meta.FirstIndex-1)
+		}
+		next = ref.meta.FirstIndex + ref.meta.Count
+		total += ref.meta.Count
+	}
+
+	if out == "" {
+		for _, ref := range refs {
+			fmt.Fprintf(w, "%s: %v, %d events\n", ref.path, ref.meta, ref.meta.Count)
+			limit := ref.meta.Count
+			if n > 0 && n < limit {
+				limit = n
+			}
+			err := withSegment(ref, func(sr *tlog.SegmentReader) error {
+				for i := 0; i < limit; i++ {
+					e, v, err := sr.Next()
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "  %4d %v %v\n", e.Index, e, v)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if limit < ref.meta.Count {
+				fmt.Fprintf(w, "  ... (%d more; use -n 0 for all)\n", ref.meta.Count-limit)
+			}
+		}
+		fmt.Fprintf(w, "%d segments, %d events total\n", len(refs), total)
+		return nil
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lw := tlog.NewDeltaWriter(f)
+	for _, ref := range refs {
+		err := withSegment(ref, func(sr *tlog.SegmentReader) error {
+			for {
+				e, v, err := sr.Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if err := lw.Append(e, v); err != nil {
+					return err
+				}
+			}
+		})
+		if err != nil {
+			f.Close()
+			os.Remove(out)
+			return err
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		f.Close()
+		os.Remove(out)
+		return err
+	}
+	fmt.Fprintf(w, "merged %d segments (%d events) into %s\n", len(refs), total, out)
 	return nil
 }
 

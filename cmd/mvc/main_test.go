@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mixedclock/internal/event"
+	"mixedclock/internal/tlog"
 	"mixedclock/internal/vclock"
 )
 
@@ -222,6 +223,129 @@ func TestExportDeltaInspectRoundTrip(t *testing.T) {
 	}
 	if err := export(&buf, tr, deltaPath, vclock.BackendFlat, "cbor"); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// liveTrace builds a trace long enough to force several seals at -seal 20.
+func liveTrace(t *testing.T) *event.Trace {
+	t.Helper()
+	tr := event.NewTrace()
+	for i := 0; i < 120; i++ {
+		tr.Append(event.ThreadID(i%3), event.ObjectID((i*5)%4), event.Op(i%2))
+	}
+	return tr
+}
+
+func TestExportLiveAndSegments(t *testing.T) {
+	tr := liveTrace(t)
+	dir := t.TempDir()
+	spill := filepath.Join(dir, "spill")
+	logPath := filepath.Join(dir, "live.mvclog")
+	var buf bytes.Buffer
+	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "delta", spill, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "live pipeline") || !strings.Contains(out, "sealed") {
+		t.Errorf("export -live output: %s", out)
+	}
+	// The live log must inspect and validate like any other log.
+	buf.Reset()
+	if err := inspect(&buf, logPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "validated 120 events") {
+		t.Errorf("inspect of live log: %s", buf.String())
+	}
+
+	// The spill directory holds the sealed prefix; segments must list it...
+	entries, err := os.ReadDir(spill)
+	if err != nil || len(entries) < 3 {
+		t.Fatalf("spill dir: %d entries, err=%v", len(entries), err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, filepath.Join(spill, e.Name()))
+	}
+	buf.Reset()
+	if err := segmentsCmd(&buf, files, "", 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "segments,") || !strings.Contains(buf.String(), "epoch 0, events [0,") {
+		t.Errorf("segments listing: %s", buf.String())
+	}
+	// ...and merge it into a log whose records match the live export's
+	// sealed prefix.
+	merged := filepath.Join(dir, "merged.mvclog")
+	buf.Reset()
+	if err := segmentsCmd(&buf, files, merged, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "merged") {
+		t.Errorf("segments merge output: %s", buf.String())
+	}
+	mf, err := os.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	mTr, mStamps, err := tlog.ReadAll(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	lTr, lStamps, err := tlog.ReadAll(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mTr.Len() == 0 || mTr.Len() > lTr.Len() {
+		t.Fatalf("merged %d events, live log has %d", mTr.Len(), lTr.Len())
+	}
+	for i := 0; i < mTr.Len(); i++ {
+		if mTr.At(i) != lTr.At(i) || !mStamps[i].Equal(lStamps[i]) {
+			t.Fatalf("merged record %d diverges from live log", i)
+		}
+	}
+
+	if err := segmentsCmd(&buf, nil, "", 0); err == nil {
+		t.Error("segments without files accepted")
+	}
+
+	// A partial spill set (missing prefix) must warn: the merged log
+	// renumbers events, and silence would misrepresent the history.
+	buf.Reset()
+	if err := segmentsCmd(&buf, files[len(files)-1:], "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "warning: gap") {
+		t.Errorf("missing-prefix merge did not warn:\n%s", buf.String())
+	}
+}
+
+func TestExportLiveFullFormat(t *testing.T) {
+	tr := liveTrace(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "live-full.mvclog")
+	var buf bytes.Buffer
+	if err := exportLive(&buf, tr, logPath, vclock.BackendTree, "full", "", 25); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := inspect(&buf, logPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "validated 120 events") {
+		t.Errorf("inspect of full live log: %s", buf.String())
+	}
+	if err := exportLive(&buf, tr, "", vclock.BackendFlat, "delta", "", 0); err == nil {
+		t.Error("export -live without -out accepted")
+	}
+	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "cbor", "", 0); err == nil {
+		t.Error("export -live with unknown format accepted")
 	}
 }
 

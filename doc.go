@@ -64,10 +64,36 @@
 //
 //	trace, stamps := tracker.Snapshot() // one barrier, consistent pair
 //
-// Snapshot, Trace, Stamps and Compact are stop-the-world barriers that
-// quiesce in-flight operations, merge the per-thread delta records, and
-// materialize their stamps; see the internal/track package documentation
-// for the full concurrency model.
+// Snapshot, Trace, Stamps, Seal and Compact are stop-the-world barriers
+// that quiesce in-flight operations, merge the per-thread delta records,
+// and materialize their stamps; see the internal/track package
+// documentation for the full concurrency model.
+//
+// # Segments, spilling and streaming
+//
+// The canonical representation of a tracked run is the delta stream, end to
+// end. History the tracker has merged is sealed — at Compact, at an
+// explicit Seal, or automatically under a spill policy — into immutable,
+// delta-encoded segments (the same wire format the logs use), and a
+// SpillPolicy moves sealed segments to disk so a long-running tracker
+// holds bounded memory however many events it records:
+//
+//	tracker := mixedclock.NewTracker(
+//		mixedclock.WithSpill(mixedclock.SpillPolicy{Dir: dir, SealEvents: 100_000}))
+//
+// Sealing is invisible to every reader: Snapshot, Stamped comparisons and
+// epoch queries replay spilled segments transparently (Tracker.Segments
+// lists them; the mvc CLI's segments command inspects and merges the spill
+// files). Bulk export never materializes a vector table at all:
+//
+//	err := tracker.SnapshotTo(w) // delta log, O(1) memory w.r.t. run length
+//
+// streams sealed segments and the live tail straight into the delta log
+// writer — byte-identical to materializing a Snapshot and writing it with
+// WriteLogDelta, at a fraction of the cost (BenchmarkSnapshotStream locks
+// the allocation profile in). Custom consumers implement StampSink and use
+// Tracker.Stream, which delivers the whole computation in trace order while
+// holding the stop-the-world barrier only for the unsealed suffix.
 //
 // # Choosing a backend
 //

@@ -1,20 +1,41 @@
-// Longrunning demonstrates epoch compaction: a service whose workload
-// changes over time. Online mechanisms may only ever add clock components,
-// so after the workload shifts, the clock carries components for entities
-// that no longer matter. Tracker.Compact re-bases the clock on the offline
-// optimum for the history so far and starts a new epoch; cross-epoch
-// ordering is preserved through the compaction barrier.
+// Longrunning demonstrates running a tracker indefinitely in bounded
+// memory: epoch compaction keeps the CLOCK small, and the spill policy
+// keeps the HISTORY small.
+//
+// Online mechanisms may only ever add clock components, so after the
+// workload shifts, the clock carries components for entities that no longer
+// matter; Tracker.Compact re-bases it on the offline optimum and starts a
+// new epoch. Independently, the recorded history grows with every event; a
+// SpillPolicy seals it into immutable delta-encoded segments every
+// SealEvents events and spills them to disk, so the tracker holds only the
+// live tail. Sealed history stays fully readable — Snapshot and the lazy
+// Stamped vectors replay spill files transparently, and SnapshotTo streams
+// the whole run (disk and tail alike) into a portable .mvclog without ever
+// materializing a vector table.
 package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"mixedclock"
 )
 
 func main() {
-	tracker := mixedclock.NewTracker(mixedclock.WithMechanism(mixedclock.Popularity{}))
+	spillDir, err := os.MkdirTemp("", "mvc-spill-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(spillDir)
+
+	tracker := mixedclock.NewTracker(
+		mixedclock.WithMechanism(mixedclock.Popularity{}),
+		// Seal every 200 events and spill sealed segments to disk: the
+		// in-memory suffix is bounded however long the service runs.
+		mixedclock.WithSpill(mixedclock.SpillPolicy{Dir: spillDir, SealEvents: 200}),
+	)
 
 	// Phase 1: twelve request handlers hammer two hot caches.
 	hotA := tracker.NewObject("cache-A")
@@ -28,7 +49,7 @@ func main() {
 		wg.Add(1)
 		go func(th *mixedclock.Thread, k int) {
 			defer wg.Done()
-			for j := 0; j < 15; j++ {
+			for j := 0; j < 60; j++ {
 				if (k+j)%2 == 0 {
 					th.Write(hotA, nil)
 				} else {
@@ -38,16 +59,15 @@ func main() {
 		}(th, i)
 	}
 	wg.Wait()
-
-	phase1 := tracker.Size()
 	lastPhase1 := handlers[0].Write(hotA, nil)
 	fmt.Printf("after phase 1: %d events, clock has %d components\n",
-		tracker.Events(), phase1)
+		tracker.Events(), tracker.Size())
 	fmt.Println("(the optimum is 2 — the two caches — but popularity's early")
 	fmt.Println(" tie-breaks admitted extra threads, and components are append-only)")
 
 	// Maintenance window: compact. The optimal cover for everything so far
-	// replaces the drifted component set.
+	// replaces the drifted component set, and the closing epoch's tail is
+	// sealed alongside the auto-sealed segments.
 	epoch, size, err := tracker.Compact()
 	if err != nil {
 		panic(err)
@@ -63,27 +83,66 @@ func main() {
 		wg.Add(1)
 		go func(th *mixedclock.Thread, k int) {
 			defer wg.Done()
-			for j := 0; j < 10; j++ {
+			for j := 0; j < 50; j++ {
 				th.Write(tenants[(k+j)%3], nil)
 			}
 		}(th, i)
 	}
 	wg.Wait()
 	firstPhase2 := handlers[0].Write(tenants[0], nil)
-
 	fmt.Printf("after phase 2: %d events, clock has %d components (epoch %d)\n",
 		tracker.Events(), tracker.Size(), tracker.Epoch())
 
-	// Cross-epoch ordering still works: the compaction barrier orders
-	// every phase-1 operation before every phase-2 operation.
+	// The history is on disk, not in the heap: list the sealed segments.
+	segs := tracker.Segments()
+	var spilledEvents int
+	var spilledBytes int64
+	for _, sg := range segs {
+		spilledEvents += sg.Events
+		spilledBytes += sg.Bytes
+	}
+	fmt.Printf("\nsealed %d segments: %d of %d events live on disk (%d bytes delta-encoded)\n",
+		len(segs), spilledEvents, tracker.Events(), spilledBytes)
+	fmt.Printf("first segment: epoch %d, events [%d,%d], %s\n",
+		segs[0].Epoch, segs[0].FirstIndex, segs[0].FirstIndex+segs[0].Events-1,
+		filepath.Base(segs[0].Path))
+
+	// Cross-epoch ordering still works, straight off the spill files: the
+	// compaction barrier orders every phase-1 operation before phase 2,
+	// and lastPhase1's vector materializes by replaying its segment.
 	fmt.Printf("\nphase-1 op %v (epoch %d) happened before phase-2 op %v (epoch %d): %v\n",
 		lastPhase1.Event, lastPhase1.Epoch,
 		firstPhase2.Event, firstPhase2.Epoch,
 		lastPhase1.HappenedBefore(firstPhase2))
 
+	// Export the entire run — spilled history and live tail — as one
+	// delta-encoded log, streamed record by record.
+	logPath := filepath.Join(spillDir, "run.mvclog")
+	f, err := os.Create(logPath)
+	if err != nil {
+		panic(err)
+	}
+	if err := tracker.SnapshotTo(f); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	rf, err := os.Open(logPath)
+	if err != nil {
+		panic(err)
+	}
+	defer rf.Close()
+	full, _, err := mixedclock.ReadLog(rf)
+	if err != nil {
+		panic(err)
+	}
+	fi, _ := os.Stat(logPath)
+	fmt.Printf("\nstreamed the full run to %s: %d events, %d bytes\n",
+		filepath.Base(logPath), full.Len(), fi.Size())
+
 	if err := tracker.Err(); err != nil {
 		panic(err)
 	}
-	starts := tracker.EpochStarts()
-	fmt.Printf("epoch boundaries in the recorded trace: %v\n", starts)
+	fmt.Printf("epoch boundaries in the recorded trace: %v\n", tracker.EpochStarts())
 }

@@ -23,17 +23,35 @@ import (
 
 const (
 	// AutoTreeWidth is the component-set width at which the tree backend
-	// starts winning on causally local joins. BenchmarkBackends brackets
-	// the crossover between the narrow seeded-hotset (~29 components,
-	// flat wins) and the 256-component shapes (tree wins); 128 splits the
-	// gap conservatively.
-	AutoTreeWidth = 128
+	// starts winning on causally local joins. The original 128 was a
+	// conservative guess from a 1-CPU dev box; the width-bracketed
+	// BenchmarkBackends variants (deep-join / read-heavy at w = 64, 128,
+	// 256) on CI-class hardware (Xeon @ 2.10GHz, Go 1.24, linux/amd64,
+	// min ns/event of repeated 0.5s runs) put the crossover at or below
+	// 64 components:
+	//
+	//	shape        width   flat     tree     tree speedup
+	//	deep-join       64   247.7    229.0    1.08×
+	//	deep-join      128   425.2    319.0    1.33×
+	//	deep-join      256   808.0    544.6    1.48×
+	//	read-heavy      64   283.6    214.5    1.32×
+	//	read-heavy     128   463.4    312.0    1.49×
+	//	read-heavy     256   889.9    572.5    1.55×
+	//	seeded-hotset   29   330.5   1094      0.30× (flat 3.3×)
+	//	wide-fanin     192   652.3   3107      0.21× (flat 4.8×)
+	//
+	// Tree wins every causally local shape from 64 components up, while
+	// the narrow seeded-hotset (29) stays firmly flat, so 64 is the
+	// data-backed cutoff. Below it flat's constants win regardless of
+	// locality; above it the join shape (next constant) decides.
+	AutoTreeWidth = 64
 	// AutoFanInDivisor guards against the wide-fanin regime: when the
 	// widest single join can touch more than width/AutoFanInDivisor
 	// components there is no locality for the tree to exploit, and the
-	// flat scan's constants win even at large widths (the wide-fanin
-	// shape has fan-in ≈ width; deep-join and read-heavy have fan-in of
-	// a few).
+	// flat scan's constants win even at large widths — the table's
+	// wide-fanin row (fan-in ≈ width, flat 4.8× ahead at 192 components)
+	// against its deep-join/read-heavy rows (fan-in of a few, tree ahead)
+	// brackets the guard; 4 keeps a safety margin on the flat side.
 	AutoFanInDivisor = 4
 )
 

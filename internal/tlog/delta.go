@@ -195,39 +195,57 @@ func (w *DeltaWriter) Append(e event.Event, v vclock.Vector) error {
 // produce), so the caller never materializes a full vector. At sync points
 // the writer falls back to the full vector it maintains internally.
 //
-// The pairs are written sorted by component index (stably, so duplicate
-// indices keep their last-wins order). Capture order is the one thing that
-// differs between clock backends — flat scans ascending, tree walks its
-// marks — so canonicalizing here makes a computation export to identical
-// bytes whichever backend stamped it.
+// The capture is canonicalized before encoding: pairs are sorted by
+// component index, only the last assignment to each index is kept (captures
+// may mention a component twice — join raise, then tick), and assignments
+// that leave the component unchanged are dropped. What remains is exactly
+// the diff against the thread's previous stamp, so AppendDelta(e, ds) and
+// Append(e, prev.Apply(ds)) produce identical bytes — capture order is the
+// one thing that differs between clock backends (flat scans ascending, tree
+// walks its marks), and canonicalizing here makes a computation export to
+// identical bytes whichever backend stamped it and whichever entry point
+// fed the writer. Capture values must be monotone (each at least the
+// component's current value), as the vclock capture API guarantees.
 func (w *DeltaWriter) AppendDelta(e event.Event, ds []vclock.Delta) error {
 	st, err := w.begin(e)
 	if err != nil {
 		return err
 	}
-	st.prev = st.prev.Apply(ds)
-	var maxIdx uint64
-	for _, d := range ds {
-		if uint64(d.Index) > maxIdx {
-			maxIdx = uint64(d.Index)
+	// Stable insertion sort into a retained buffer: change sets are a
+	// handful of entries, and this keeps the append allocation-free.
+	w.pairs = append(w.pairs[:0], ds...)
+	for i := 1; i < len(w.pairs); i++ {
+		for j := i; j > 0 && w.pairs[j].Index < w.pairs[j-1].Index; j-- {
+			w.pairs[j], w.pairs[j-1] = w.pairs[j-1], w.pairs[j]
 		}
 	}
+	// Compact in place: last-wins per index, no-op assignments dropped.
+	// Writes trail reads (each surviving group writes one slot at or before
+	// the group's first element), so the in-place rewrite is safe.
+	pairs := w.pairs[:0]
+	for i := 0; i < len(w.pairs); {
+		j := i
+		for j+1 < len(w.pairs) && w.pairs[j+1].Index == w.pairs[i].Index {
+			j++
+		}
+		if d := w.pairs[j]; d.Value != st.prev.At(int(d.Index)) {
+			pairs = append(pairs, d)
+		}
+		i = j + 1
+	}
+	var maxIdx uint64
+	if len(pairs) > 0 {
+		maxIdx = uint64(pairs[len(pairs)-1].Index)
+	}
 	full := w.syncDue(st, maxIdx)
+	st.prev = st.prev.Apply(pairs)
 	if full {
 		w.buf = binary.AppendUvarint(w.buf, tagFull)
 		w.buf = st.prev.AppendBinary(w.buf)
 	} else {
-		// Stable insertion sort into a retained buffer: change sets are a
-		// handful of entries, and this keeps the append allocation-free.
-		w.pairs = append(w.pairs[:0], ds...)
-		for i := 1; i < len(w.pairs); i++ {
-			for j := i; j > 0 && w.pairs[j].Index < w.pairs[j-1].Index; j-- {
-				w.pairs[j], w.pairs[j-1] = w.pairs[j-1], w.pairs[j]
-			}
-		}
 		w.buf = binary.AppendUvarint(w.buf, tagDelta)
-		w.buf = binary.AppendUvarint(w.buf, uint64(len(w.pairs)))
-		for _, d := range w.pairs {
+		w.buf = binary.AppendUvarint(w.buf, uint64(len(pairs)))
+		for _, d := range pairs {
 			w.buf = binary.AppendUvarint(w.buf, uint64(d.Index))
 			w.buf = binary.AppendUvarint(w.buf, d.Value)
 		}

@@ -135,6 +135,9 @@ type Reader struct {
 	delta bool
 	prev  map[event.ThreadID]vclock.Vector
 	count *countingReader
+	// scratch is the retained decode buffer NextShared reconstructs full
+	// vectors into, so steady-state shared reads allocate nothing.
+	scratch vclock.Vector
 }
 
 // countingReader meters bytes pulled from the underlying stream (bufio
@@ -180,8 +183,23 @@ func NewReader(r io.Reader) (*Reader, error) {
 }
 
 // Next returns the next record. It reports io.EOF at a clean end of stream
-// and ErrTruncated when the stream stops mid-record.
+// and ErrTruncated when the stream stops mid-record. The returned vector is
+// an independent copy.
 func (r *Reader) Next() (event.Event, vclock.Vector, error) {
+	return r.next(false)
+}
+
+// NextShared is Next without the defensive copies: the returned vector
+// aliases the reader's internal reconstruction state and is valid only until
+// the next call (in either form). Steady-state shared reads allocate nothing
+// beyond the per-thread state the format requires, which is what lets bulk
+// consumers — the live tracker's segment streaming, log rewriters — iterate
+// a stream with allocation cost independent of its length.
+func (r *Reader) NextShared() (event.Event, vclock.Vector, error) {
+	return r.next(true)
+}
+
+func (r *Reader) next(shared bool) (event.Event, vclock.Vector, error) {
 	t, err := binary.ReadUvarint(r.r)
 	if err == io.EOF {
 		return event.Event{}, nil, io.EOF // clean boundary
@@ -208,9 +226,9 @@ func (r *Reader) Next() (event.Event, vclock.Vector, error) {
 	}
 	var v vclock.Vector
 	if r.delta {
-		v, err = r.deltaPayload(event.ThreadID(t))
+		v, err = r.deltaPayload(event.ThreadID(t), shared)
 	} else {
-		v, err = r.fullVector()
+		v, err = r.fullVector(shared)
 	}
 	if err != nil {
 		return event.Event{}, nil, err
@@ -226,8 +244,9 @@ func (r *Reader) Next() (event.Event, vclock.Vector, error) {
 }
 
 // fullVector decodes a canonical vector payload (format 01, and format 02
-// sync records).
-func (r *Reader) fullVector() (vclock.Vector, error) {
+// sync records). In shared mode the result lives in the reader's retained
+// scratch buffer.
+func (r *Reader) fullVector(shared bool) (vclock.Vector, error) {
 	n, err := r.field("component count")
 	if err != nil {
 		return nil, err
@@ -237,7 +256,12 @@ func (r *Reader) fullVector() (vclock.Vector, error) {
 	}
 	// Grow incrementally: each component consumes at least one input byte,
 	// so a lying count cannot force a large allocation up front.
-	v := make(vclock.Vector, 0, min(n, 64))
+	var v vclock.Vector
+	if shared {
+		v = r.scratch[:0]
+	} else {
+		v = make(vclock.Vector, 0, min(n, 64))
+	}
 	for i := uint64(0); i < n; i++ {
 		x, err := r.field("component")
 		if err != nil {
@@ -245,24 +269,40 @@ func (r *Reader) fullVector() (vclock.Vector, error) {
 		}
 		v = append(v, x)
 	}
+	if shared {
+		r.scratch = v
+	}
 	return v, nil
 }
 
 // deltaPayload decodes a format-02 payload for thread t, reconstructing the
-// full vector from the thread's running state.
-func (r *Reader) deltaPayload(t event.ThreadID) (vclock.Vector, error) {
+// full vector from the thread's running state. In shared mode the result
+// aliases that state instead of being cloned out of it.
+func (r *Reader) deltaPayload(t event.ThreadID, shared bool) (vclock.Vector, error) {
 	tag, err := r.field("tag")
 	if err != nil {
 		return nil, err
 	}
 	switch tag {
 	case tagFull:
-		v, err := r.fullVector()
+		v, err := r.fullVector(shared)
 		if err != nil {
 			return nil, err
 		}
-		r.prev[t] = v.Clone()
-		return v, nil
+		if !shared {
+			r.prev[t] = v.Clone()
+			return v, nil
+		}
+		// Absorb the sync vector into the retained per-thread state in
+		// place (zeroing any components beyond the canonical encoding's
+		// trimmed tail) and hand the caller the state itself.
+		p := r.prev[t].Grow(len(v))
+		copy(p, v)
+		for i := len(v); i < len(p); i++ {
+			p[i] = 0
+		}
+		r.prev[t] = p
+		return p, nil
 	case tagDelta:
 		// The writer emits a full vector as every thread's first record,
 		// so a delta with no base to apply to is proof of corruption (or a
@@ -307,6 +347,9 @@ func (r *Reader) deltaPayload(t event.ThreadID) (vclock.Vector, error) {
 			v = v.Set(int(idx), x)
 		}
 		r.prev[t] = v
+		if shared {
+			return v, nil
+		}
 		return v.Clone(), nil
 	default:
 		return nil, fmt.Errorf("%w: record tag %d", ErrCorrupt, tag)

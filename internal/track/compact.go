@@ -40,14 +40,20 @@ func (s Stamped) Order(t Stamped) vclock.Ordering {
 }
 
 // Compact quiesces all threads (a stop-the-world barrier), merges the
-// per-thread record buffers, and starts a new epoch over the optimal
-// component set for the computation revealed so far. It returns the new
-// epoch number and the compacted clock size. Operations blocked on the
-// barrier commit into the new epoch with fresh zero clocks.
+// per-thread record buffers, seals the closing epoch's tail into an
+// immutable delta-encoded segment (spilled under the tracker's SpillPolicy),
+// and starts a new epoch over the optimal component set for the computation
+// revealed so far. It returns the new epoch number and the compacted clock
+// size. Operations blocked on the barrier commit into the new epoch with
+// fresh zero clocks. A seal failure (spill I/O) aborts the compaction with
+// the tracker unchanged and the tail still in memory.
 func (t *Tracker) Compact() (epoch, size int, err error) {
 	t.world.Lock()
 	defer t.world.Unlock()
 	t.mergeLocked()
+	if err := t.sealLocked(); err != nil {
+		return 0, 0, err
+	}
 
 	cover := t.cover.Load()
 	analysis := core.Analyze(cover.Graph())
@@ -79,29 +85,29 @@ func (t *Tracker) Compact() (epoch, size int, err error) {
 	}
 	t.reg.Unlock()
 	t.epoch++
-	t.epochStart = append(t.epochStart, t.trace.Len())
+	t.epochStart = append(t.epochStart, t.mergedLenLocked())
 	return t.epoch, seeded.Size(), nil
 }
 
 // Epoch returns the current epoch number (0 before any compaction).
 func (t *Tracker) Epoch() int {
-	t.world.RLock()
-	defer t.world.RUnlock()
+	t.world.RLock(0)
+	defer t.world.RUnlock(0)
 	return t.epoch
 }
 
 // EpochStarts returns, for each epoch, the index of its first event in the
 // recorded trace. Epoch 0 always starts at 0; an epoch may be empty.
 func (t *Tracker) EpochStarts() []int {
-	t.world.RLock()
-	defer t.world.RUnlock()
+	t.world.RLock(0)
+	defer t.world.RUnlock(0)
 	return append([]int{0}, t.epochStart...)
 }
 
 // EpochOf returns the epoch that event index i was recorded in.
 func (t *Tracker) EpochOf(i int) int {
-	t.world.RLock()
-	defer t.world.RUnlock()
+	t.world.RLock(0)
+	defer t.world.RUnlock(0)
 	epoch := 0
 	for _, start := range t.epochStart {
 		if i >= start {

@@ -1,0 +1,360 @@
+package track
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/tlog"
+	"mixedclock/internal/vclock"
+)
+
+// SpillPolicy bounds a long-running tracker's memory: how often the merged
+// tail is sealed into an immutable delta-encoded segment, and where sealed
+// segments go. The zero policy never seals on its own and keeps what Compact
+// seals in memory.
+type SpillPolicy struct {
+	// Dir, when non-empty, is the directory sealed segments are spilled to
+	// (one "seg-<first>-<last>.mvcseg" file each, created on first use).
+	// Spilled segments are dropped from memory; everything that replays
+	// them — Stream, Snapshot, lazy Stamped.Vector of an old event — reads
+	// the file back. Empty keeps sealed segments in memory, still in their
+	// delta-encoded form (typically a small fraction of the vector table
+	// they replace).
+	Dir string
+	// SealEvents, when positive, seals automatically once at least this
+	// many events sit unsealed (live per-thread buffers plus the merged
+	// tail). Sealing is a stop-the-world barrier, so this trades a periodic
+	// pause — proportional to SealEvents, like any snapshot — for a bounded
+	// in-memory suffix. Zero seals only at Compact or an explicit Seal.
+	// If an automatic seal fails (spill I/O), the error surfaces through
+	// Err, the history stays in memory, and auto-sealing disarms until an
+	// explicit Seal or Compact succeeds — one failed barrier, not one per
+	// commit.
+	SealEvents int
+}
+
+// WithSpill sets the tracker's spill policy.
+func WithSpill(p SpillPolicy) Option {
+	return func(o *options) { o.spill = p }
+}
+
+// segment is one sealed, immutable slice of history: meta plus either the
+// container bytes in memory or the spill file they were written to.
+type segment struct {
+	meta tlog.SegmentMeta
+	data []byte // in-memory container; nil when spilled
+	path string // spill file; "" when in memory
+	size int64
+}
+
+// open returns the segment's container bytes as a stream.
+func (sg *segment) open() (io.ReadCloser, error) {
+	if sg.path == "" {
+		return io.NopCloser(bytes.NewReader(sg.data)), nil
+	}
+	return os.Open(sg.path)
+}
+
+// stream replays the segment's records into sink. The borrowed vectors are
+// handed straight through, so a full segment replay allocates only the
+// reader state, independent of the record count.
+func (sg *segment) stream(sink StampSink) error {
+	rc, err := sg.open()
+	if err != nil {
+		return fmt.Errorf("track: opening segment %v: %w", sg.meta, err)
+	}
+	defer rc.Close()
+	sr, err := tlog.NewSegmentReader(rc)
+	if err != nil {
+		return fmt.Errorf("track: segment %v: %w", sg.meta, err)
+	}
+	for {
+		e, v, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("track: segment %v: %w", sg.meta, err)
+		}
+		if err := sink.ConsumeStamp(e, sg.meta.Epoch, v); err != nil {
+			return err
+		}
+	}
+}
+
+// stampAt replays the segment up to global index idx and returns that
+// record's stamp (freshly reconstructed, owned by the caller).
+func (sg *segment) stampAt(idx int) (vclock.Vector, error) {
+	rc, err := sg.open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	sr, err := tlog.NewSegmentReader(rc)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		e, v, err := sr.Next()
+		if err != nil {
+			return nil, err
+		}
+		if e.Index == idx {
+			return v, nil
+		}
+	}
+}
+
+// sealLocked re-encodes the merged tail as one immutable segment and
+// appends it to the sealed history, spilling it to disk when the policy
+// says so. The caller holds the world write lock and has merged. On error
+// (segment encoding, spill I/O) the tail is left untouched, so no history
+// is lost — the tracker just keeps it in memory.
+func (t *Tracker) sealLocked() error {
+	if len(t.tailEv) == 0 {
+		return nil
+	}
+	var payload bytes.Buffer
+	w := tlog.NewDeltaWriter(&payload)
+	widths := make([]int, len(t.tailEv))
+	for i, e := range t.tailEv {
+		if err := w.Append(e, t.tailStamps[i]); err != nil {
+			return fmt.Errorf("track: sealing: %w", err)
+		}
+		widths[i] = len(t.tailStamps[i])
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("track: sealing: %w", err)
+	}
+	meta := tlog.SegmentMeta{Epoch: t.epoch, FirstIndex: t.tailStart, Count: len(t.tailEv)}
+	data, err := tlog.AppendSegment(nil, meta, widths, payload.Bytes())
+	if err != nil {
+		return fmt.Errorf("track: sealing: %w", err)
+	}
+	sg := &segment{meta: meta, size: int64(len(data))}
+	if t.spill.Dir != "" {
+		if err := os.MkdirAll(t.spill.Dir, 0o777); err != nil {
+			return fmt.Errorf("track: spilling: %w", err)
+		}
+		name := fmt.Sprintf("seg-%010d-%010d.mvcseg", meta.FirstIndex, meta.FirstIndex+meta.Count-1)
+		sg.path = filepath.Join(t.spill.Dir, name)
+		if err := os.WriteFile(sg.path, data, 0o666); err != nil {
+			return fmt.Errorf("track: spilling: %w", err)
+		}
+	} else {
+		sg.data = data
+	}
+	t.segs = append(t.segs, sg)
+	t.tailStart += len(t.tailEv)
+	// Drop the tail storage outright (rather than truncating) so a spilling
+	// tracker's footprint really is bounded by the seal interval.
+	t.tailEv = nil
+	t.tailStamps = nil
+	t.sealed.Store(int64(t.tailStart))
+	// A successful seal re-arms auto-sealing after an earlier spill failure
+	// (the storage evidently works again).
+	t.sealBroken.Store(false)
+	return nil
+}
+
+// Seal quiesces the tracker, merges all per-thread buffers, and seals the
+// tail into an immutable delta-encoded segment (spilled to disk under the
+// policy's Dir). Compact seals implicitly; SpillPolicy.SealEvents seals
+// automatically. Sealing never changes what any reader observes — only
+// where (and how compactly) the history is held.
+func (t *Tracker) Seal() error {
+	t.world.Lock()
+	defer t.world.Unlock()
+	t.mergeLocked()
+	return t.sealLocked()
+}
+
+// maybeAutoSeal runs after a commit has released every lock: when the
+// unsealed suffix has outgrown the policy, one caller wins the gate and
+// seals. A failure (spill I/O) surfaces through Err, leaves the history in
+// memory, and DISARMS auto-sealing — otherwise every later commit would
+// retry a stop-the-world barrier plus failing I/O against broken storage,
+// collapsing the hot path. A subsequent explicit Seal or Compact that
+// succeeds re-arms it.
+func (t *Tracker) maybeAutoSeal() {
+	n := t.spill.SealEvents
+	if n <= 0 || t.seq.Load()-t.sealed.Load() < int64(n) || t.sealBroken.Load() {
+		return
+	}
+	if !t.sealGate.CompareAndSwap(false, true) {
+		return // someone else is already sealing
+	}
+	defer t.sealGate.Store(false)
+	if err := t.Seal(); err != nil {
+		t.sealBroken.Store(true)
+		t.noteErr(err)
+	}
+}
+
+// sealedStampLocked reconstructs the stamp of sealed event idx from its
+// segment. The caller holds the world write lock.
+func (t *Tracker) sealedStampLocked(idx int) (vclock.Vector, error) {
+	i := sort.Search(len(t.segs), func(i int) bool {
+		m := t.segs[i].meta
+		return m.FirstIndex+m.Count > idx
+	})
+	if i == len(t.segs) || t.segs[i].meta.FirstIndex > idx {
+		return nil, fmt.Errorf("no segment holds event %d", idx)
+	}
+	return t.segs[i].stampAt(idx)
+}
+
+// SegmentInfo describes one sealed segment for inspection.
+type SegmentInfo struct {
+	// Epoch the segment's records belong to (a segment never spans one).
+	Epoch int
+	// FirstIndex is the global trace index of the segment's first record;
+	// Events is how many records it holds.
+	FirstIndex int
+	Events     int
+	// Bytes is the encoded container size; Path is the spill file, empty
+	// while the segment is held in memory.
+	Bytes int64
+	Path  string
+}
+
+// Segments lists the sealed history, oldest first.
+func (t *Tracker) Segments() []SegmentInfo {
+	t.world.RLock(0)
+	defer t.world.RUnlock(0)
+	out := make([]SegmentInfo, len(t.segs))
+	for i, sg := range t.segs {
+		out[i] = SegmentInfo{
+			Epoch:      sg.meta.Epoch,
+			FirstIndex: sg.meta.FirstIndex,
+			Events:     sg.meta.Count,
+			Bytes:      sg.size,
+			Path:       sg.path,
+		}
+	}
+	return out
+}
+
+// StampSink consumes a timestamped computation in trace order, one record
+// per call: the event (with its global index), the epoch it was recorded
+// in, and its full stamp at the clock width of that moment. The vector is
+// borrowed — valid only until ConsumeStamp returns — so sinks that retain
+// stamps must clone them; sinks that merely encode or aggregate get an
+// allocation profile independent of the computation's length. A sink must
+// not call back into the Tracker: the tail phase of a Stream holds the
+// stop-the-world barrier.
+type StampSink interface {
+	ConsumeStamp(e event.Event, epoch int, v vclock.Vector) error
+}
+
+// Stream replays the whole recorded computation — sealed segments, then the
+// live tail — into sink, in trace order, stopping at the first sink or
+// segment error. Sealed segments are immutable and are replayed without
+// stopping the world; only the final stretch (anything sealed during the
+// replay, then the merged tail) runs under the barrier, so the pause
+// commits observe is proportional to the unsealed suffix, not to history.
+// The result is a consistent snapshot of the tracker as of that final
+// barrier.
+func (t *Tracker) Stream(sink StampSink) error {
+	// Phase 1: sealed history, no barrier. Segments are only ever appended
+	// (under the write lock) and never mutated, so a snapshot of the slice
+	// is safe to read at leisure. The catch-up rounds are bounded: under
+	// sustained auto-sealing a streamer on slow storage could otherwise
+	// chase freshly sealed segments forever; whatever remains after the
+	// last round is replayed under the barrier, which guarantees
+	// termination.
+	done := 0
+	for round := 0; round < 4; round++ {
+		segs := t.segmentsFrom(done)
+		if len(segs) == 0 {
+			break
+		}
+		for _, sg := range segs {
+			if err := sg.stream(sink); err != nil {
+				return err
+			}
+		}
+		done += len(segs)
+	}
+	// Phase 2: the barrier — catch up on segments sealed while phase 1
+	// streamed, then the merged tail.
+	t.world.Lock()
+	defer t.world.Unlock()
+	t.mergeLocked()
+	for _, sg := range t.segs[done:] {
+		if err := sg.stream(sink); err != nil {
+			return err
+		}
+	}
+	for i, e := range t.tailEv {
+		if err := sink.ConsumeStamp(e, t.epoch, t.tailStamps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segmentsFrom snapshots the sealed-segment list from position n on.
+func (t *Tracker) segmentsFrom(n int) []*segment {
+	t.world.RLock(0)
+	defer t.world.RUnlock(0)
+	if n >= len(t.segs) {
+		return nil
+	}
+	return t.segs[n:len(t.segs):len(t.segs)]
+}
+
+// SnapshotTo streams the recorded computation into w as a delta-encoded
+// MVCLOG02 log (the WriteLogDelta wire format, readable by tlog.ReadAll and
+// mvc inspect), without ever materializing a vector table: sealed segments
+// decode straight back into the writer and the tail's stamps are encoded in
+// place. Output bytes are identical to materializing Snapshot() and writing
+// it with tlog.WriteAllDelta — the pipeline changes the cost, not the log.
+func (t *Tracker) SnapshotTo(w io.Writer) error {
+	lw := tlog.NewDeltaWriter(w)
+	if err := t.Stream(deltaSink{lw}); err != nil {
+		return err
+	}
+	return lw.Flush()
+}
+
+// collectSink materializes a streamed computation — the sink behind
+// Snapshot.
+type collectSink struct {
+	trace  *event.Trace
+	stamps []vclock.Vector
+}
+
+func (c *collectSink) ConsumeStamp(e event.Event, _ int, v vclock.Vector) error {
+	c.trace.AppendEvent(e)
+	c.stamps = append(c.stamps, v.Clone())
+	return nil
+}
+
+// traceSink keeps only the events — the sink behind Trace.
+type traceSink struct{ trace *event.Trace }
+
+func (c *traceSink) ConsumeStamp(e event.Event, _ int, _ vclock.Vector) error {
+	c.trace.AppendEvent(e)
+	return nil
+}
+
+// stampsSink keeps only the stamps — the sink behind Stamps.
+type stampsSink struct{ stamps []vclock.Vector }
+
+func (c *stampsSink) ConsumeStamp(_ event.Event, _ int, v vclock.Vector) error {
+	c.stamps = append(c.stamps, v.Clone())
+	return nil
+}
+
+// deltaSink pipes a streamed computation into a tlog.DeltaWriter.
+type deltaSink struct{ w *tlog.DeltaWriter }
+
+func (s deltaSink) ConsumeStamp(e event.Event, _ int, v vclock.Vector) error {
+	return s.w.Append(e, v)
+}

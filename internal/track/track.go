@@ -58,17 +58,57 @@
 //
 // Trace recording is deferred: operations accumulate in per-thread buffers
 // and are merged (sorted by trace index) only when a snapshot is taken —
-// Trace, Stamps, Snapshot — or at compaction. Those merge points, and
-// Compact itself, are stop-the-world barriers: they take the write side of
-// an RWMutex whose read side every commit holds, quiescing all in-flight
-// clock updates. This is what preserves the epoch semantics of Compact
-// (every event of epoch k commits before every event of epoch k+1) without
-// a lock on the per-event path. The read lock covers only the commit, not
-// the user's callback, so a callback may freely block, nest Do calls (on
-// different objects, with the usual mutex lock-ordering discipline), or
-// call any Tracker method — including Stamped.Vector on an earlier stamp.
-// An operation whose callback straddles a compaction simply commits into
-// the new epoch.
+// Trace, Stamps, Snapshot, Stream — or at sealing/compaction. Those merge
+// points are stop-the-world barriers: they take the write side of the world
+// lock whose read side every commit holds (sharded per thread, see
+// world.go), quiescing all in-flight clock updates. This is what preserves
+// the epoch semantics of Compact (every event of epoch k commits before
+// every event of epoch k+1) without a lock on the per-event path. The read
+// lock covers only the commit, not the user's callback, so a callback may
+// freely block, nest Do calls (on different objects, with the usual mutex
+// lock-ordering discipline), or call any Tracker method — including
+// Stamped.Vector on an earlier stamp. An operation whose callback straddles
+// a compaction simply commits into the new epoch.
+//
+// # Segment lifecycle: merge, seal, spill
+//
+// The canonical representation of the recorded computation is the delta
+// stream, not a dense vector table. History moves through three states:
+//
+//   - Live: committed records sit in per-thread buffers as delta ranges
+//     (above). Nothing is ordered or materialized yet.
+//   - Tail: a barrier merges the buffers into the tail — events in trace
+//     order with their materialized stamps. The tail is the mutable,
+//     random-access suffix of history; Stamped.Vector of a tail event is an
+//     O(1) lookup.
+//   - Sealed: Seal (called by Compact, by SpillPolicy.SealEvents, or
+//     directly) re-encodes the whole tail as one immutable delta-encoded
+//     segment — the MVCLOG02 wire format inside a tlog "MVCSEG01" container
+//     that also records the epoch, the global index range, and the clock
+//     width at each record. A sealed segment never changes; with a
+//     SpillPolicy.Dir it is written to its own file in that directory and
+//     dropped from memory entirely, which is what bounds a long-running
+//     tracker's footprint: live + tail are bounded by SealEvents, and the
+//     sealed prefix lives on disk.
+//
+// A segment never spans a compaction (Compact seals first, then starts the
+// new epoch), so each segment belongs to exactly one epoch; an epoch may
+// span many segments. Everything that reads history — Stream, SnapshotTo,
+// Snapshot, Trace, Stamps, lazy Stamped.Vector — replays sealed segments
+// plus the tail, in trace order, through one path; the bulk readers never
+// build a []Vector unless the caller asked for exactly that.
+//
+// # Streaming and barriers
+//
+// Stream (and SnapshotTo on top of it) delivers the computation to a
+// StampSink in two phases: sealed segments are immutable, so they are read
+// WITHOUT the world lock — the tracker keeps committing, sealing and
+// compacting underneath — and only the final stretch (segments sealed
+// meanwhile, then the merged tail) holds the write lock. The stream is
+// therefore a consistent snapshot as of its final barrier, and the stall it
+// imposes on commits is proportional to the tail, not to history: trackers
+// that seal regularly pause only for the last SealEvents-ish events. Sinks
+// must not call back into the Tracker (the tail phase holds the barrier).
 package track
 
 import (
@@ -99,7 +139,9 @@ type Stamped struct {
 }
 
 // Vector returns the operation's full timestamp as an independent copy. The
-// zero Stamped returns nil.
+// zero Stamped returns nil, as does a stamp whose sealed segment could not
+// be read back (a spill file lost underneath the tracker — the cause is in
+// Err, and the read is retried on the next call rather than memoized).
 func (s Stamped) Vector() vclock.Vector {
 	if s.cell == nil {
 		return nil
@@ -108,12 +150,19 @@ func (s Stamped) Vector() vclock.Vector {
 }
 
 // vec returns the memoized timestamp without copying — for internal
-// comparisons only.
+// comparisons only. Comparisons cannot limp along without the stamp (a nil
+// vector would silently read as all-zero, inventing causality), so a
+// materialization failure here panics with the underlying cause.
 func (s Stamped) vec() vclock.Vector {
 	if s.cell == nil {
 		return nil
 	}
-	return s.cell.vector()
+	v := s.cell.vector()
+	if v == nil {
+		panic(fmt.Sprintf("track: stamp of event %d cannot be materialized (sealed segment unreadable): %v",
+			s.cell.idx, s.cell.t.Err()))
+	}
+	return v
 }
 
 // HappenedBefore reports whether s's operation causally precedes t's,
@@ -129,15 +178,22 @@ func (s Stamped) Concurrent(t Stamped) bool { return s.Order(t) == vclock.Concur
 // stampCell is the shared lazy-materialization state behind a Stamped. The
 // first vector() call reconstructs the stamp through the tracker barrier and
 // memoizes; copies of the Stamped share the cell, so they share the work.
+// Only success is memoized: a failed reconstruction (sealed segment
+// unreadable) returns nil and is retried on the next call, so restoring the
+// spill file restores the stamp.
 type stampCell struct {
-	t    *Tracker
-	idx  int
-	once sync.Once
-	v    vclock.Vector
+	t   *Tracker
+	idx int
+	mu  sync.Mutex
+	v   vclock.Vector
 }
 
 func (c *stampCell) vector() vclock.Vector {
-	c.once.Do(func() { c.v = c.t.stampAt(c.idx) })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.v == nil {
+		c.v = c.t.stampAt(c.idx)
+	}
 	return c.v
 }
 
@@ -160,10 +216,10 @@ type record struct {
 // tracked computation with NewTracker; all methods are safe for concurrent
 // use.
 type Tracker struct {
-	// world is the stop-the-world barrier: every Do holds it for reading
-	// across its commit; snapshots and Compact hold it for writing, which
-	// quiesces all in-flight operations.
-	world sync.RWMutex
+	// world is the stop-the-world barrier: every Do holds one of its shards
+	// for reading across its commit; snapshots, Seal and Compact hold every
+	// shard for writing, which quiesces all in-flight operations.
+	world *worldLock
 
 	// reg guards thread and object registration (the slices, not the
 	// per-thread/per-object clock state).
@@ -185,18 +241,37 @@ type Tracker struct {
 
 	// seq assigns each commit its dense global trace index; fetched while
 	// the object commit exclusion is held so index order linearizes
-	// happened-before.
-	seq atomic.Int64
+	// happened-before. Padded onto its own cache line: the RMW per commit
+	// is unavoidable (see world.go), but it must not drag the read-mostly
+	// fields above into invalidation traffic.
+	seq paddedInt64
 
-	// Merged history and epoch bookkeeping, written only under the world
-	// write lock. epoch is additionally read by commits under the read
-	// lock; epochStart[i] is the trace index where epoch i+1 began.
-	trace      *event.Trace
-	stamps     []vclock.Vector
+	// Merged history, written only under the world write lock. Records
+	// below tailStart live in segs (sealed, immutable, possibly spilled to
+	// disk); the tail slices hold the merged-but-unsealed suffix, with
+	// tailEv[i] at global index tailStart+i and len(tailStamps[i]) equal to
+	// the clock width at that record.
+	spill      SpillPolicy
+	segs       []*segment
+	tailStart  int
+	tailEv     []event.Event
+	tailStamps []vclock.Vector
+	// sealed mirrors tailStart for the lock-free auto-seal check in Do;
+	// sealGate admits one auto-seal attempt at a time; sealBroken disarms
+	// auto-sealing after a spill failure (one failed barrier, not one per
+	// commit) until an explicit Seal or Compact succeeds.
+	sealed     atomic.Int64
+	sealGate   atomic.Bool
+	sealBroken atomic.Bool
+
+	// Epoch bookkeeping, written only under the world write lock. epoch is
+	// additionally read by commits under the read lock; epochStart[i] is
+	// the trace index where epoch i+1 began.
 	epoch      int
 	epochStart []int
 
-	// firstErr keeps the first clock misuse across epochs.
+	// firstErr keeps the first tracker error across epochs: clock misuse,
+	// or an I/O failure sealing, spilling or re-reading a segment.
 	errMu    sync.Mutex
 	firstErr error
 }
@@ -207,6 +282,7 @@ type Option func(*options)
 type options struct {
 	mech    core.Mechanism
 	backend vclock.Backend
+	spill   SpillPolicy
 }
 
 // WithMechanism selects the online component-choice mechanism (default: the
@@ -234,9 +310,10 @@ func NewTracker(opts ...Option) *Tracker {
 		opt(&o)
 	}
 	t := &Tracker{
+		world:     newWorldLock(),
 		requested: o.backend,
 		backend:   core.ResolveBackend(o.backend, 0, 0),
-		trace:     event.NewTrace(),
+		spill:     o.spill,
 	}
 	t.cover.Store(core.NewSharedCover(core.NewCoverTracker(o.mech)))
 	return t
@@ -251,6 +328,9 @@ type Thread struct {
 	t    *Tracker
 	id   event.ThreadID
 	name string
+	// shard is the thread's slice of the sharded world barrier; commits
+	// from this thread only ever touch that shard's reader count.
+	shard int
 
 	// clock is the thread's working clock, nil until the first operation
 	// of an epoch. Owned by the driving goroutine (under the world read
@@ -320,6 +400,7 @@ func (t *Tracker) NewThread(name string) *Thread {
 	t.reg.Lock()
 	defer t.reg.Unlock()
 	th := &Thread{t: t, id: event.ThreadID(len(t.threads)), name: name}
+	th.shard = t.world.shardFor(int(th.id))
 	t.threads = append(t.threads, th)
 	return th
 }
@@ -348,6 +429,14 @@ func (t *Tracker) NewObject(name string) *Object {
 // method: the world read lock is taken only around the commit that follows
 // fn, so callbacks cannot deadlock against a concurrent Snapshot or Compact.
 func (th *Thread) Do(o *Object, op event.Op, fn func()) Stamped {
+	s := th.do(o, op, fn)
+	// With every lock released, honour the spill policy: sealing is its own
+	// (rare) barrier, never nested inside a commit.
+	th.t.maybeAutoSeal()
+	return s
+}
+
+func (th *Thread) do(o *Object, op event.Op, fn func()) Stamped {
 	t := th.t
 	if t != o.t {
 		panic(fmt.Sprintf("track: thread %q and object %q belong to different trackers", th.name, o.name))
@@ -358,8 +447,8 @@ func (th *Thread) Do(o *Object, op event.Op, fn func()) Stamped {
 		if fn != nil {
 			fn()
 		}
-		t.world.RLock()
-		defer t.world.RUnlock()
+		t.world.RLock(th.shard)
+		defer t.world.RUnlock(th.shard)
 		// Readers share mu, so the commit chain needs its own exclusion.
 		o.cmu.Lock()
 		defer o.cmu.Unlock()
@@ -370,8 +459,8 @@ func (th *Thread) Do(o *Object, op event.Op, fn func()) Stamped {
 	if fn != nil {
 		fn()
 	}
-	t.world.RLock()
-	defer t.world.RUnlock()
+	t.world.RLock(th.shard)
+	defer t.world.RUnlock(th.shard)
 	return t.commit(th, o, op)
 }
 
@@ -448,8 +537,8 @@ func (t *Tracker) noteErr(err error) {
 	t.errMu.Unlock()
 }
 
-// mergeLocked drains every thread's append buffer into the canonical trace,
-// in trace-index order, materializing each record's full stamp by replaying
+// mergeLocked drains every thread's append buffer into the tail, in
+// trace-index order, materializing each record's full stamp by replaying
 // the thread's delta arena forward from its previous materialization. The
 // caller holds the world write lock, so no commit is in flight and the
 // indices below seq are all present exactly once. This is where the
@@ -481,33 +570,48 @@ func (t *Tracker) mergeLocked() {
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].ev.Index < pending[j].ev.Index })
 	for _, r := range pending {
-		if got := t.trace.AppendEvent(r.ev); got.Index != r.ev.Index {
+		if want := t.tailStart + len(t.tailEv); r.ev.Index != want {
 			// Indices are dense by construction; a gap means lost records.
-			t.noteErr(fmt.Errorf("track: merge misaligned: event %v landed at trace index %d", r.ev, got.Index))
+			t.noteErr(fmt.Errorf("track: merge misaligned: event %v landed at trace index %d", r.ev, want))
 		}
-		t.stamps = append(t.stamps, r.v)
+		t.tailEv = append(t.tailEv, r.ev)
+		t.tailStamps = append(t.tailStamps, r.v)
 	}
 }
 
-// stampAt quiesces the tracker and returns the (shared, internal) stamp of
-// event idx — the lazy-materialization path behind Stamped.
+// mergedLenLocked is the number of records in ordered history (sealed +
+// tail); under the write lock after a merge it equals the event count.
+func (t *Tracker) mergedLenLocked() int { return t.tailStart + len(t.tailEv) }
+
+// stampAt quiesces the tracker and returns the (internal) stamp of event
+// idx — the lazy-materialization path behind Stamped. Tail stamps are an
+// index away; a stamp that has been sealed is reconstructed by replaying
+// its segment (one pass, then memoized by the caller's stampCell).
 func (t *Tracker) stampAt(idx int) vclock.Vector {
 	t.world.Lock()
 	defer t.world.Unlock()
 	t.mergeLocked()
-	if idx < 0 || idx >= len(t.stamps) {
+	if idx >= t.tailStart {
+		if i := idx - t.tailStart; i >= 0 && i < len(t.tailStamps) {
+			return t.tailStamps[i]
+		}
 		// Unreachable for cells minted by commit; guard against decay.
 		return nil
 	}
-	return t.stamps[idx]
+	v, err := t.sealedStampLocked(idx)
+	if err != nil {
+		t.noteErr(fmt.Errorf("track: materializing sealed stamp %d: %w", idx, err))
+		return nil
+	}
+	return v
 }
 
 // Backend returns the clock representation the tracker currently builds
 // clocks in. For trackers created WithBackend(BackendAuto) this is the
 // resolved concrete backend, which may change at a Compact.
 func (t *Tracker) Backend() vclock.Backend {
-	t.world.RLock()
-	defer t.world.RUnlock()
+	t.world.RLock(0)
+	defer t.world.RUnlock(0)
 	return t.backend
 }
 
@@ -522,51 +626,45 @@ func (t *Tracker) Components() []core.Component { return t.cover.Load().Componen
 // Events returns the number of recorded operations.
 func (t *Tracker) Events() int { return int(t.seq.Load()) }
 
-// Snapshot quiesces the tracker, merges all per-thread buffers, and returns
-// a copy of the recorded computation together with its timestamps (indexed
-// by event index). It is the cheapest way to get both consistently.
+// Snapshot quiesces the tracker and returns a copy of the recorded
+// computation together with its timestamps (indexed by event index). It is
+// a materializing sink over the same segment-stream path Stream and
+// SnapshotTo use: sealed history is replayed from its delta segments
+// (reading spill files back if the tracker spills), the tail is cloned out.
+// For bulk export, prefer SnapshotTo, which never builds the []Vector at
+// all. A segment I/O failure (a spill file deleted underneath the tracker)
+// surfaces through Err, with the readable prefix returned.
 func (t *Tracker) Snapshot() (*event.Trace, []vclock.Vector) {
-	t.world.Lock()
-	defer t.world.Unlock()
-	t.mergeLocked()
-	return t.traceCopyLocked(), t.stampsCopyLocked()
+	sink := &collectSink{trace: event.NewTrace()}
+	if err := t.Stream(sink); err != nil {
+		t.noteErr(fmt.Errorf("track: snapshot: %w", err))
+	}
+	return sink.trace, sink.stamps
 }
 
-// Trace returns a copy of the recorded computation.
+// Trace returns a copy of the recorded computation. It streams the same
+// path as Snapshot but keeps only the events, so no stamp is ever cloned.
 func (t *Tracker) Trace() *event.Trace {
-	t.world.Lock()
-	defer t.world.Unlock()
-	t.mergeLocked()
-	return t.traceCopyLocked()
+	sink := &traceSink{trace: event.NewTrace()}
+	if err := t.Stream(sink); err != nil {
+		t.noteErr(fmt.Errorf("track: trace: %w", err))
+	}
+	return sink.trace
 }
 
 // Stamps returns a copy of the recorded timestamps, indexed by event index.
 func (t *Tracker) Stamps() []vclock.Vector {
-	t.world.Lock()
-	defer t.world.Unlock()
-	t.mergeLocked()
-	return t.stampsCopyLocked()
-}
-
-func (t *Tracker) traceCopyLocked() *event.Trace {
-	out := event.NewTrace()
-	for i := 0; i < t.trace.Len(); i++ {
-		out.AppendEvent(t.trace.At(i))
+	sink := &stampsSink{}
+	if err := t.Stream(sink); err != nil {
+		t.noteErr(fmt.Errorf("track: stamps: %w", err))
 	}
-	return out
+	return sink.stamps
 }
 
-func (t *Tracker) stampsCopyLocked() []vclock.Vector {
-	out := make([]vclock.Vector, len(t.stamps))
-	for i, v := range t.stamps {
-		out[i] = v.Clone()
-	}
-	return out
-}
-
-// Err surfaces clock misuse (an uncovered event), which would indicate a bug
-// in the tracker; always nil in correct operation. The first error from any
-// epoch is retained.
+// Err surfaces tracker failures: clock misuse (an uncovered event, which
+// would indicate a tracker bug) and segment I/O errors from sealing,
+// spilling or re-reading spilled history. Always nil in correct operation
+// on intact storage; the first error from any epoch is retained.
 func (t *Tracker) Err() error {
 	t.errMu.Lock()
 	defer t.errMu.Unlock()

@@ -77,6 +77,16 @@ type (
 	Stamped = track.Stamped
 	// TrackerOption configures NewTracker.
 	TrackerOption = track.Option
+	// SpillPolicy bounds a long-running tracker's memory: when the merged
+	// tail is sealed into immutable delta-encoded segments and where sealed
+	// segments are spilled.
+	SpillPolicy = track.SpillPolicy
+	// SegmentInfo describes one sealed segment (epoch, index range, size,
+	// spill file), as reported by Tracker.Segments.
+	SegmentInfo = track.SegmentInfo
+	// StampSink consumes a streamed computation record by record; see
+	// Tracker.Stream.
+	StampSink = track.StampSink
 )
 
 // Ordering values returned by Vector.Compare.
@@ -155,6 +165,13 @@ func WithMechanism(m Mechanism) TrackerOption { return track.WithMechanism(m) }
 
 // WithBackend selects the tracker's clock representation (Flat or Tree).
 func WithBackend(b Backend) TrackerOption { return track.WithBackend(b) }
+
+// WithSpill sets the tracker's spill policy: seal the merged tail into
+// immutable delta-encoded segments every SealEvents events and, with a Dir,
+// spill sealed segments to disk so a long-running tracker holds bounded
+// memory. Sealed history is replayed transparently by Snapshot, Stream,
+// SnapshotTo and lazy Stamped vectors.
+func WithSpill(p SpillPolicy) TrackerOption { return track.WithSpill(p) }
 
 // Run drives a timestamper over a whole trace, returning one timestamp per
 // event.
