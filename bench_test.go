@@ -7,6 +7,7 @@ package mixedclock_test
 // series. EXPERIMENTS.md records full-scale outputs.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"mixedclock/internal/core"
 	"mixedclock/internal/experiment"
 	"mixedclock/internal/matching"
+	"mixedclock/internal/tlog"
 	"mixedclock/internal/trace"
 	"mixedclock/internal/vclock"
 )
@@ -575,6 +577,145 @@ func BenchmarkSnapshotStream(b *testing.B) {
 				tr, stamps := plain.Snapshot()
 				if err := mixedclock.WriteLogDelta(io.Discard, tr, stamps); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSegmentCompact measures the segment lifecycle manager's tiered
+// compaction on both layers, with -benchmem feeding CI's regression gate:
+//
+//   - merge: tlog.MergeSegments re-encoding a run of small delta segments
+//     into one — the pure rewrite cost per compaction pass (streamed, so
+//     B/op is the merged container plus bounded reader/writer state);
+//   - tracker: a full Tracker.CompactSegments pass over a freshly sealed
+//     in-memory history (plan + merge + barrier swap), rebuilt outside the
+//     timer each iteration.
+func BenchmarkSegmentCompact(b *testing.B) {
+	buildSealed := func(segments, perSegment int) *mixedclock.Tracker {
+		tracker := mixedclock.NewTracker(
+			mixedclock.WithSpill(mixedclock.SpillPolicy{SealEvents: perSegment}))
+		const nThreads, nObjects = 4, 8
+		threads := make([]*mixedclock.Thread, nThreads)
+		for i := range threads {
+			threads[i] = tracker.NewThread("w")
+		}
+		objs := make([]*mixedclock.Object, nObjects)
+		for i := range objs {
+			objs[i] = tracker.NewObject("o")
+		}
+		for i := 0; i < segments*perSegment; i++ {
+			threads[i%nThreads].Write(objs[(i*3)%nObjects], nil)
+		}
+		if err := tracker.Err(); err != nil {
+			b.Fatal(err)
+		}
+		return tracker
+	}
+	for _, segments := range []int{16, 64} {
+		b.Run(fmt.Sprintf("merge/segs=%d", segments), func(b *testing.B) {
+			// One recorded run, sealed as `segments` raw containers the way
+			// the tracker seals its tail, re-merged every iteration from
+			// fresh readers.
+			tracker := buildSealed(segments, 32)
+			full, stamps := tracker.Snapshot()
+			var pieces [][]byte
+			per := full.Len() / segments
+			for s := 0; s < segments; s++ {
+				var payload bytes.Buffer
+				w := tlog.NewDeltaWriter(&payload)
+				widths := make([]int, 0, per)
+				for i := s * per; i < (s+1)*per; i++ {
+					if err := w.Append(full.At(i), stamps[i]); err != nil {
+						b.Fatal(err)
+					}
+					widths = append(widths, len(stamps[i]))
+				}
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				data, err := tlog.AppendSegment(nil,
+					tlog.SegmentMeta{FirstIndex: s * per, Count: per}, widths, payload.Bytes())
+				if err != nil {
+					b.Fatal(err)
+				}
+				pieces = append(pieces, data)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				readers := make([]io.Reader, len(pieces))
+				for j, p := range pieces {
+					readers[j] = bytes.NewReader(p)
+				}
+				if _, err := tlog.MergeSegments(io.Discard, readers...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("tracker/segs=%d", segments), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tracker := buildSealed(segments, 8)
+				b.StartTimer()
+				if _, err := tracker.CompactSegments(mixedclock.CompactPolicy{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// countingSink drains a stream, keeping nothing.
+type countingSink struct{ n int }
+
+func (s *countingSink) ConsumeStamp(mixedclock.Event, int, mixedclock.Vector) error {
+	s.n++
+	return nil
+}
+
+// BenchmarkStreamTail measures Stream over a fully unsealed history — the
+// double-buffered merged tail, the path PR 5 took off the world barrier.
+// The barrier is now held only for the merge+freeze, so ns/op here is the
+// replay the tracker no longer stalls commits for; -benchmem locks in that
+// the replay allocates only the freeze snapshot (one block slice), not per
+// record.
+func BenchmarkStreamTail(b *testing.B) {
+	for _, events := range []int{5_000, 50_000} {
+		tracker := mixedclock.NewTracker()
+		const nThreads, nObjects = 8, 32
+		threads := make([]*mixedclock.Thread, nThreads)
+		for i := range threads {
+			threads[i] = tracker.NewThread("w")
+		}
+		objs := make([]*mixedclock.Object, nObjects)
+		for i := range objs {
+			objs[i] = tracker.NewObject("o")
+		}
+		for i := 0; i < events; i++ {
+			threads[i%nThreads].Write(objs[(i*7)%nObjects], nil)
+		}
+		if err := tracker.Err(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			// Warm outside the timer: the first Stream pays the one-off
+			// merge/materialization; the gate watches the steady-state
+			// replay.
+			if err := tracker.Stream(&countingSink{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink := &countingSink{}
+				if err := tracker.Stream(sink); err != nil {
+					b.Fatal(err)
+				}
+				if sink.n != events {
+					b.Fatalf("streamed %d of %d records", sink.n, events)
 				}
 			}
 		})

@@ -14,9 +14,16 @@
 //	                                       timestamp and write a binary .mvclog
 //	mvc inspect   -log LOG [-n N]          read a binary log, either format
 //	                                       (tolerates truncation)
-//	mvc segments  [-out LOG] [-n N] FILE...
+//	mvc segments  [-out LOG] [-n N] FILE|DIR...
 //	                                       inspect .mvcseg spill files, or
 //	                                       merge them into one log
+//	mvc catalog   [-verify] DIR|FILE       print a spill directory's segment
+//	                                       catalog (catalog.json), optionally
+//	                                       verifying file sizes and hashes
+//	mvc compact   [-max N] [-target BYTES] DIR
+//	                                       tier-compact a spill directory:
+//	                                       merge runs of adjacent small
+//	                                       segments, rewrite the catalog
 //
 // Traces are JSON Lines as produced by tracegen (one {"i","t","o","op"}
 // object per line); -trace defaults to stdin.
@@ -42,11 +49,15 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"mixedclock/internal/baseline"
@@ -79,6 +90,9 @@ func main() {
 	live := fs.Bool("live", false, "export: replay through the live tracker's segment pipeline")
 	spillDir := fs.String("spill", "", "export -live: spill sealed segments to this directory")
 	seal := fs.Int("seal", 0, "export -live: seal every N events (0: only at the end)")
+	verify := fs.Bool("verify", false, "catalog: verify segment file sizes and content hashes")
+	maxSegs := fs.Int("max", 0, "compact: tolerated segment count (0: compact unconditionally)")
+	target := fs.Int64("target", 0, "compact: merged-tier size ceiling in bytes (0: one segment per epoch)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -96,6 +110,18 @@ func main() {
 	}
 	if cmd == "segments" {
 		if err := segmentsCmd(os.Stdout, fs.Args(), *out, *n); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if cmd == "catalog" {
+		if err := catalogCmd(os.Stdout, fs.Args(), *verify); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if cmd == "compact" {
+		if err := compactCmd(os.Stdout, fs.Args(), *maxSegs, *target); err != nil {
 			fatal(err)
 		}
 		return
@@ -137,7 +163,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mvc {analyze|timestamp|order|detect|recover|validate|graph|export|inspect|segments} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mvc {analyze|timestamp|order|detect|recover|validate|graph|export|inspect|segments|catalog|compact} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'mvc <command> -h' for command flags")
 }
 
@@ -434,6 +460,32 @@ func (s fullVectorSink) ConsumeStamp(e event.Event, _ int, v vclock.Vector) erro
 	return s.w.Append(e, v)
 }
 
+// expandSegmentArgs resolves segments/compact arguments: a directory stands
+// for its *.mvcseg files (sorted by name, i.e. by first index under the
+// spill naming scheme), anything else is taken as a segment file. The
+// catalog and other non-segment files a spill directory carries are skipped
+// by the suffix filter.
+func expandSegmentArgs(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "*.mvcseg"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		files = append(files, matches...)
+	}
+	return files, nil
+}
+
 // segRef addresses one segment inside a (possibly multi-segment) spill
 // file without holding its records: the byte offset recorded by the scan
 // pass lets later passes seek straight to it instead of re-decoding the
@@ -481,9 +533,13 @@ func withSegment(ref segRef, fn func(*tlog.SegmentReader) error) error {
 // through one at a time in both modes — the whole point of the spill files
 // is that history needn't fit in memory, and inspecting them must not undo
 // that.
-func segmentsCmd(w io.Writer, files []string, out string, n int) error {
+func segmentsCmd(w io.Writer, args []string, out string, n int) error {
+	files, err := expandSegmentArgs(args)
+	if err != nil {
+		return err
+	}
 	if len(files) == 0 {
-		return fmt.Errorf("segments needs at least one .mvcseg file (spill files are seg-*.mvcseg)")
+		return fmt.Errorf("segments needs at least one .mvcseg file or a spill directory (spill files are seg-*.mvcseg)")
 	}
 	// Scan pass: collect segment metas and offsets, fully decoding (but not
 	// retaining) every record so corruption surfaces before any output is
@@ -597,6 +653,284 @@ func segmentsCmd(w io.Writer, files []string, out string, n int) error {
 	}
 	fmt.Fprintf(w, "merged %d segments (%d events) into %s\n", len(refs), total, out)
 	return nil
+}
+
+// catalogCmd prints a spill directory's segment catalog — the document
+// external log shippers poll — and, with -verify, re-reads every listed
+// segment file to check its size and SHA-256 against the catalog. The
+// argument is the spill directory or a direct path to a catalog.json.
+func catalogCmd(w io.Writer, args []string, verify bool) error {
+	if len(args) != 1 {
+		return fmt.Errorf("catalog needs one spill directory or catalog.json path")
+	}
+	path, dir := args[0], filepath.Dir(args[0])
+	if fi, err := os.Stat(path); err != nil {
+		return err
+	} else if fi.IsDir() {
+		dir = path
+		path = filepath.Join(path, tlog.CatalogFileName)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := tlog.DecodeCatalog(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "catalog generation %d: %d segments, %d sealed events\n",
+		c.Generation, len(c.Segments), c.SealedEvents)
+	if c.Health != "" {
+		fmt.Fprintf(w, "health: %s\n", c.Health)
+	}
+	if c.AutoSealDisarmed {
+		fmt.Fprintln(w, "auto-sealing: DISARMED by a spill failure (explicit Seal or Compact re-arms)")
+	}
+	bad, checked := 0, 0
+	for i, sg := range c.Segments {
+		where := sg.Path
+		if where == "" {
+			where = "(in memory)"
+		}
+		fmt.Fprintf(w, "%4d epoch %d, events [%d,%d], %d bytes  %s\n",
+			i, sg.Epoch, sg.FirstIndex, sg.FirstIndex+sg.Events-1, sg.Bytes, where)
+		if !verify || sg.Path == "" {
+			continue
+		}
+		checked++
+		data, err := os.ReadFile(filepath.Join(dir, sg.Path))
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "     MISSING: %v\n", err)
+			bad++
+		case int64(len(data)) != sg.Bytes:
+			fmt.Fprintf(w, "     SIZE MISMATCH: file is %d bytes, catalog says %d\n", len(data), sg.Bytes)
+			bad++
+		case sg.SHA256 != "" && hashHex(data) != sg.SHA256:
+			fmt.Fprintf(w, "     HASH MISMATCH: file is %s\n", hashHex(data))
+			bad++
+		}
+	}
+	if verify {
+		if bad > 0 {
+			return fmt.Errorf("%d of %d segment files failed verification", bad, checked)
+		}
+		fmt.Fprintf(w, "verified %d segment files against the catalog", checked)
+		if skipped := len(c.Segments) - checked; skipped > 0 {
+			fmt.Fprintf(w, " (%d in-memory segments not verifiable)", skipped)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func hashHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// compactCmd tier-compacts a spill directory offline: runs of adjacent
+// small single-epoch segments are merged into larger files (byte-equivalent
+// replay, same planning rules as the tracker's own pass), the sources are
+// removed, and catalog.json — if present — is rewritten to the new layout.
+// Only for directories no live tracker is spilling into; a running
+// tracker's own CompactSegments does this safely online.
+func compactCmd(w io.Writer, args []string, maxSegs int, target int64) error {
+	if len(args) != 1 {
+		return fmt.Errorf("compact needs one spill directory")
+	}
+	dir := args[0]
+	if fi, err := os.Stat(dir); err != nil {
+		return err
+	} else if !fi.IsDir() {
+		return fmt.Errorf("compact needs a spill directory, got file %s", dir)
+	}
+	files, err := expandSegmentArgs(args)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no .mvcseg files in %s", dir)
+	}
+	// Scan: spill layouts hold one segment per file; decode each fully so
+	// corruption surfaces before anything is rewritten.
+	type fileSeg struct {
+		path string
+		stat tlog.SegmentStat
+	}
+	segs := make([]fileSeg, 0, len(files))
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		br := bufio.NewReader(f)
+		sr, err := tlog.NewSegmentReader(br)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for {
+			if _, _, err := sr.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		if _, err := tlog.NewSegmentReader(br); err != io.EOF {
+			f.Close()
+			return fmt.Errorf("%s holds more than one segment; compact only handles one-per-file spill layouts", path)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		segs = append(segs, fileSeg{path: path, stat: tlog.SegmentStat{Meta: sr.Meta(), Bytes: fi.Size()}})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].stat.Meta.FirstIndex < segs[j].stat.Meta.FirstIndex })
+	// Overlapping ranges are the signature of an interrupted compact (the
+	// merged file landed, its sources were not all removed) — refuse with a
+	// pointer at the duplicates rather than plan nonsense around them.
+	for i := 1; i < len(segs); i++ {
+		prev, cur := segs[i-1], segs[i]
+		if cur.stat.Meta.FirstIndex < prev.stat.Meta.FirstIndex+prev.stat.Meta.Count {
+			return fmt.Errorf("%s overlaps %s: if an interrupted compact left both a merged segment and its sources, delete the smaller contained files and re-run",
+				cur.path, prev.path)
+		}
+	}
+	stats := make([]tlog.SegmentStat, len(segs))
+	for i, s := range segs {
+		stats[i] = s.stat
+	}
+	plan := tlog.PlanSegmentCompaction(stats, maxSegs, target)
+	if len(plan) == 0 {
+		fmt.Fprintf(w, "nothing to compact: %d segments already within policy\n", len(segs))
+		return nil
+	}
+	mergedFiles := 0
+	for _, g := range plan {
+		run := segs[g[0]:g[1]]
+		readers := make([]io.Reader, len(run))
+		closers := make([]*os.File, len(run))
+		for i, s := range run {
+			f, err := os.Open(s.path)
+			if err != nil {
+				return err
+			}
+			readers[i] = f
+			closers[i] = f
+		}
+		tmp, err := os.CreateTemp(dir, ".seg-*.tmp")
+		if err != nil {
+			return err
+		}
+		meta, err := tlog.MergeSegments(tmp, readers...)
+		for _, f := range closers {
+			f.Close()
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), filepath.Join(dir, tlog.SegmentFileName(meta))); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		for _, s := range run {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+		}
+		// Rewrite the catalog after every completed group, not once at the
+		// end: a failure in a later group then leaves the catalog matching
+		// what is actually on disk (each group's replacement is atomic and
+		// coverage stays gapless between groups).
+		if err := rewriteCatalog(dir); err != nil {
+			return err
+		}
+		mergedFiles += len(run)
+	}
+	fmt.Fprintf(w, "compacted %d segments into %d (%d untouched)\n",
+		mergedFiles, len(plan), len(segs)-mergedFiles)
+	return nil
+}
+
+// rewriteCatalog regenerates catalog.json from the directory's current
+// segment files, preserving the old document's health and advancing its
+// generation. A directory without a catalog (hand-assembled spill sets)
+// stays without one; a partial set whose segments do not cover history from
+// index zero cannot carry a valid catalog and is reported instead.
+func rewriteCatalog(dir string) error {
+	catPath := filepath.Join(dir, tlog.CatalogFileName)
+	old := &tlog.Catalog{FormatVersion: tlog.CatalogFormatVersion}
+	if f, err := os.Open(catPath); err == nil {
+		c, derr := tlog.DecodeCatalog(f)
+		f.Close()
+		if derr != nil {
+			return fmt.Errorf("existing %s: %w", catPath, derr)
+		}
+		old = c
+	} else if !os.IsNotExist(err) {
+		return err
+	} else {
+		return nil // no catalog to maintain
+	}
+	files, err := expandSegmentArgs([]string{dir})
+	if err != nil {
+		return err
+	}
+	c := &tlog.Catalog{
+		FormatVersion:    tlog.CatalogFormatVersion,
+		Generation:       old.Generation + 1,
+		Health:           old.Health,
+		AutoSealDisarmed: old.AutoSealDisarmed,
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sr, err := tlog.NewSegmentReader(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		m := sr.Meta()
+		c.Segments = append(c.Segments, tlog.CatalogSegment{
+			Epoch:      m.Epoch,
+			FirstIndex: m.FirstIndex,
+			Events:     m.Count,
+			Bytes:      int64(len(data)),
+			Path:       filepath.Base(path),
+			SHA256:     hashHex(data),
+		})
+	}
+	sort.Slice(c.Segments, func(i, j int) bool { return c.Segments[i].FirstIndex < c.Segments[j].FirstIndex })
+	for _, sg := range c.Segments {
+		c.SealedEvents = sg.FirstIndex + sg.Events
+	}
+	tmp, err := os.CreateTemp(dir, ".catalog-*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := tlog.EncodeCatalog(tmp, c); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rebuilt catalog for %s does not validate (partial spill set?): %w", dir, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), catPath)
 }
 
 // inspect reads a binary log, printing records and tolerating truncation.

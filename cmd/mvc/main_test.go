@@ -258,15 +258,13 @@ func TestExportLiveAndSegments(t *testing.T) {
 		t.Errorf("inspect of live log: %s", buf.String())
 	}
 
-	// The spill directory holds the sealed prefix; segments must list it...
+	// The spill directory holds the sealed prefix (plus the catalog, which
+	// the directory expansion must skip); segments must list it...
 	entries, err := os.ReadDir(spill)
 	if err != nil || len(entries) < 3 {
 		t.Fatalf("spill dir: %d entries, err=%v", len(entries), err)
 	}
-	var files []string
-	for _, e := range entries {
-		files = append(files, filepath.Join(spill, e.Name()))
-	}
+	files := []string{spill} // a directory stands for its *.mvcseg files
 	buf.Reset()
 	if err := segmentsCmd(&buf, files, "", 2); err != nil {
 		t.Fatal(err)
@@ -317,8 +315,12 @@ func TestExportLiveAndSegments(t *testing.T) {
 
 	// A partial spill set (missing prefix) must warn: the merged log
 	// renumbers events, and silence would misrepresent the history.
+	segFiles, err := expandSegmentArgs([]string{spill})
+	if err != nil || len(segFiles) < 2 {
+		t.Fatalf("expandSegmentArgs: %v (%d files)", err, len(segFiles))
+	}
 	buf.Reset()
-	if err := segmentsCmd(&buf, files[len(files)-1:], "", 0); err != nil {
+	if err := segmentsCmd(&buf, segFiles[len(segFiles)-1:], "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "warning: gap") {
@@ -371,5 +373,98 @@ func TestInspectTruncatedLog(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "log truncated") {
 		t.Errorf("inspect output: %s", buf.String())
+	}
+}
+
+// TestCatalogAndCompact drives the lifecycle tooling end to end: a live
+// export with aggressive sealing leaves a swarm of tiny spill files plus a
+// catalog; mvc catalog prints and verifies it; mvc compact collapses the
+// files (replay unchanged) and rewrites the catalog, which must verify
+// again.
+func TestCatalogAndCompact(t *testing.T) {
+	tr := liveTrace(t)
+	dir := t.TempDir()
+	spill := filepath.Join(dir, "spill")
+	logPath := filepath.Join(dir, "live.mvclog")
+	var buf bytes.Buffer
+	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "delta", spill, 4); err != nil {
+		t.Fatal(err)
+	}
+	segFiles, err := expandSegmentArgs([]string{spill})
+	if err != nil || len(segFiles) < 10 {
+		t.Fatalf("setup produced %d spill files (err=%v)", len(segFiles), err)
+	}
+
+	buf.Reset()
+	if err := catalogCmd(&buf, []string{spill}, true); err != nil {
+		t.Fatalf("catalog -verify: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "catalog generation") || !strings.Contains(out, "verified") {
+		t.Errorf("catalog output: %s", out)
+	}
+
+	buf.Reset()
+	if err := compactCmd(&buf, []string{spill}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compacted") {
+		t.Errorf("compact output: %s", buf.String())
+	}
+	after, err := expandSegmentArgs([]string{spill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(segFiles) || len(after) != 1 {
+		t.Fatalf("compaction left %d files (from %d), want 1", len(after), len(segFiles))
+	}
+
+	// The rewritten catalog verifies against the merged files.
+	buf.Reset()
+	if err := catalogCmd(&buf, []string{spill}, true); err != nil {
+		t.Fatalf("catalog -verify after compact: %v\n%s", err, buf.String())
+	}
+
+	// Replay equivalence: the merged spill set still reproduces the sealed
+	// prefix of the live log, record for record.
+	merged := filepath.Join(dir, "merged.mvclog")
+	buf.Reset()
+	if err := segmentsCmd(&buf, []string{spill}, merged, 0); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	mTr, mStamps, err := tlog.ReadAll(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	lTr, lStamps, err := tlog.ReadAll(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mTr.Len() == 0 || mTr.Len() > lTr.Len() {
+		t.Fatalf("merged %d events, live log has %d", mTr.Len(), lTr.Len())
+	}
+	for i := 0; i < mTr.Len(); i++ {
+		if mTr.At(i) != lTr.At(i) || !mStamps[i].Equal(lStamps[i]) {
+			t.Fatalf("merged record %d diverges from live log", i)
+		}
+	}
+
+	// A second pass finds nothing to do.
+	buf.Reset()
+	if err := compactCmd(&buf, []string{spill}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nothing to compact") {
+		t.Errorf("idempotent compact output: %s", buf.String())
 	}
 }

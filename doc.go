@@ -92,8 +92,30 @@
 // writer — byte-identical to materializing a Snapshot and writing it with
 // WriteLogDelta, at a fraction of the cost (BenchmarkSnapshotStream locks
 // the allocation profile in). Custom consumers implement StampSink and use
-// Tracker.Stream, which delivers the whole computation in trace order while
-// holding the stop-the-world barrier only for the unsealed suffix.
+// Tracker.Stream, which delivers the whole computation in trace order
+// without ever running the sink under the stop-the-world barrier: the
+// merged tail is double-buffered, so Stream freezes it under a short
+// barrier and replays the frozen half while commits continue into the
+// fresh one (BenchmarkStreamTail).
+//
+// # Segment lifecycle: compaction and the catalog
+//
+// Frequent seals produce many small segments; the lifecycle manager keeps
+// them operable. Tiered compaction merges runs of adjacent small segments
+// (never across an epoch boundary, never past CompactPolicy.TargetBytes)
+// into larger ones with replay bytes unchanged — arm it with
+// WithCompaction, run a pass explicitly with Tracker.CompactSegments, or
+// compact a retired spill directory offline with `mvc compact`. Seal
+// boundaries can be aligned (SpillPolicy.SealEvery) or wall-time capped
+// (SpillPolicy.SealInterval) so segment edges line up with retention wants.
+//
+// External log shippers poll the Catalog — epoch, index range, size, spill
+// file and SHA-256 per segment, plus tracker health — via Tracker.Catalog
+// or, with a spill directory, the catalog.json the tracker rewrites
+// atomically after every seal and compaction (readable with ReadCatalog or
+// `mvc catalog`). Spill failures surface there too: auto-sealing disarms
+// after one failed barrier, Err and the catalog carry the cause, and a
+// successful explicit Seal or Compact re-arms it.
 //
 // # Choosing a backend
 //

@@ -1,17 +1,24 @@
 // Longrunning demonstrates running a tracker indefinitely in bounded
-// memory: epoch compaction keeps the CLOCK small, and the spill policy
-// keeps the HISTORY small.
+// memory: epoch compaction keeps the CLOCK small, the spill policy keeps
+// the HISTORY small, and the segment lifecycle manager keeps the spill
+// DIRECTORY small and shippable.
 //
 // Online mechanisms may only ever add clock components, so after the
 // workload shifts, the clock carries components for entities that no longer
 // matter; Tracker.Compact re-bases it on the offline optimum and starts a
 // new epoch. Independently, the recorded history grows with every event; a
-// SpillPolicy seals it into immutable delta-encoded segments every
-// SealEvents events and spills them to disk, so the tracker holds only the
-// live tail. Sealed history stays fully readable — Snapshot and the lazy
-// Stamped vectors replay spill files transparently, and SnapshotTo streams
-// the whole run (disk and tail alike) into a portable .mvclog without ever
-// materializing a vector table.
+// SpillPolicy seals it into immutable delta-encoded segments — here at
+// aligned SealEvery boundaries, so segment edges land at predictable
+// indices — and spills them to disk, so the tracker holds only the live
+// tail. Frequent seals would litter the directory with tiny files;
+// WithCompaction merges adjacent small segments into larger tiers (replay
+// bytes unchanged). The catalog — both Tracker.Catalog and the catalog.json
+// the tracker maintains next to the spill files — is the stable view an
+// external log shipper polls: index ranges, epochs, sizes and content
+// hashes per segment, plus the tracker's health. Sealed history stays fully
+// readable throughout — Snapshot and the lazy Stamped vectors replay spill
+// files transparently, and SnapshotTo streams the whole run (disk and tail
+// alike) into a portable .mvclog without ever materializing a vector table.
 package main
 
 import (
@@ -32,9 +39,14 @@ func main() {
 
 	tracker := mixedclock.NewTracker(
 		mixedclock.WithMechanism(mixedclock.Popularity{}),
-		// Seal every 200 events and spill sealed segments to disk: the
-		// in-memory suffix is bounded however long the service runs.
-		mixedclock.WithSpill(mixedclock.SpillPolicy{Dir: spillDir, SealEvents: 200}),
+		// Seal at aligned 100-event boundaries and spill sealed segments to
+		// disk: the in-memory suffix is bounded however long the service
+		// runs, and segment edges land at predictable indices.
+		mixedclock.WithSpill(mixedclock.SpillPolicy{Dir: spillDir, SealEvery: 100}),
+		// Keep the spill directory tidy: whenever more than 4 segments have
+		// accumulated, merge adjacent small ones (within one epoch) into
+		// tiers of up to 64 KiB.
+		mixedclock.WithCompaction(mixedclock.CompactPolicy{MaxSegments: 4, TargetBytes: 64 << 10}),
 	)
 
 	// Phase 1: twelve request handlers hammer two hot caches.
@@ -93,7 +105,8 @@ func main() {
 	fmt.Printf("after phase 2: %d events, clock has %d components (epoch %d)\n",
 		tracker.Events(), tracker.Size(), tracker.Epoch())
 
-	// The history is on disk, not in the heap: list the sealed segments.
+	// The history is on disk, not in the heap — and tier-compacted, so the
+	// directory holds a few merged segments, not one file per seal.
 	segs := tracker.Segments()
 	var spilledEvents int
 	var spilledBytes int64
@@ -101,11 +114,20 @@ func main() {
 		spilledEvents += sg.Events
 		spilledBytes += sg.Bytes
 	}
-	fmt.Printf("\nsealed %d segments: %d of %d events live on disk (%d bytes delta-encoded)\n",
+	fmt.Printf("\nsealed history, after tiered compaction: %d segments, %d of %d events on disk (%d bytes delta-encoded)\n",
 		len(segs), spilledEvents, tracker.Events(), spilledBytes)
 	fmt.Printf("first segment: epoch %d, events [%d,%d], %s\n",
 		segs[0].Epoch, segs[0].FirstIndex, segs[0].FirstIndex+segs[0].Events-1,
 		filepath.Base(segs[0].Path))
+
+	// What a log shipper would poll: the catalog (also on disk as
+	// catalog.json next to the spill files, rewritten atomically after
+	// every seal and compaction).
+	cat := tracker.Catalog()
+	fmt.Printf("catalog: generation %d, %d segments, %d sealed events, healthy=%v\n",
+		cat.Generation, len(cat.Segments), cat.SealedEvents, cat.Health == "" && !cat.AutoSealDisarmed)
+	fmt.Printf("each segment ships with a content hash, e.g. %s: sha256 %s...\n",
+		cat.Segments[0].Path, cat.Segments[0].SHA256[:12])
 
 	// Cross-epoch ordering still works, straight off the spill files: the
 	// compaction barrier orders every phase-1 operation before phase 2,

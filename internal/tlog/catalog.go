@@ -1,0 +1,137 @@
+package tlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Segment catalog: the stable, read-only view of a tracker's sealed history
+// that external log shippers poll. The tracker publishes one catalog
+// document (catalog.json in the spill directory, rewritten atomically after
+// every seal and compaction); a shipper that re-reads it sees a consistent
+// generation — which segments exist, where each one's file lives, which
+// index range and epoch it covers, its size and its content hash — without
+// ever touching the tracker itself. Segment files are immutable once listed,
+// so a shipper may copy any listed file at leisure and verify the copy
+// against SHA256; compaction retires files only after the catalog generation
+// that stops listing them is in place.
+//
+// The document is plain JSON so shippers need no Go in the loop; Decode
+// validates structure on the way in, making the catalog safe to consume
+// from untrusted or half-written files.
+
+// CatalogFormatVersion is the catalog document version this package writes
+// and accepts.
+const CatalogFormatVersion = 1
+
+// CatalogFileName is the catalog's file name inside a spill directory —
+// shared by the tracker that publishes it and the tools that read it.
+const CatalogFileName = "catalog.json"
+
+// CatalogSegment describes one sealed segment.
+type CatalogSegment struct {
+	// Epoch the segment's records belong to (a segment never spans one).
+	Epoch int `json:"epoch"`
+	// FirstIndex is the global trace index of the segment's first record;
+	// Events is how many records it holds.
+	FirstIndex int `json:"first_index"`
+	Events     int `json:"events"`
+	// Bytes is the encoded container size.
+	Bytes int64 `json:"bytes"`
+	// Path is the segment's spill file, relative to the catalog's own
+	// directory; empty for a segment still held in memory.
+	Path string `json:"path,omitempty"`
+	// SHA256 is the hex content hash of the encoded container, when known —
+	// what a shipper verifies its copy against.
+	SHA256 string `json:"sha256,omitempty"`
+}
+
+// Catalog is the JSON-serializable segment catalog.
+type Catalog struct {
+	// FormatVersion is CatalogFormatVersion.
+	FormatVersion int `json:"format_version"`
+	// Generation increases on every publication; a shipper that reads the
+	// same generation twice saw the same segment list.
+	Generation int64 `json:"generation"`
+	// SealedEvents is how many records sealed history covers: segments span
+	// global indices [0, SealedEvents) with no gaps (barring lost files).
+	SealedEvents int `json:"sealed_events"`
+	// Health is empty while the tracker is healthy; otherwise the text of
+	// its first error (clock misuse or segment I/O — see Tracker.Err).
+	Health string `json:"health,omitempty"`
+	// AutoSealDisarmed reports that automatic sealing hit a spill I/O
+	// failure and stopped; history accumulates in memory until an explicit
+	// Seal or Compact succeeds and re-arms it.
+	AutoSealDisarmed bool `json:"auto_seal_disarmed,omitempty"`
+	// Segments lists sealed history, oldest first.
+	Segments []CatalogSegment `json:"segments"`
+}
+
+// Validate checks the catalog's internal consistency: known version, sane
+// counts, segments ordered and gapless from index zero, hashes well-formed.
+func (c *Catalog) Validate() error {
+	if c.FormatVersion != CatalogFormatVersion {
+		return fmt.Errorf("tlog: catalog format version %d (want %d)", c.FormatVersion, CatalogFormatVersion)
+	}
+	if c.Generation < 0 || c.SealedEvents < 0 {
+		return fmt.Errorf("tlog: negative catalog counters (generation %d, sealed %d)", c.Generation, c.SealedEvents)
+	}
+	next, epoch := 0, 0
+	for i, sg := range c.Segments {
+		if sg.Epoch < 0 || sg.FirstIndex < 0 || sg.Events <= 0 || sg.Bytes < 0 {
+			return fmt.Errorf("tlog: catalog segment %d has impossible fields %+v", i, sg)
+		}
+		if sg.FirstIndex != next {
+			return fmt.Errorf("tlog: catalog segment %d starts at %d, want %d (gapless from zero)",
+				i, sg.FirstIndex, next)
+		}
+		if sg.Epoch < epoch {
+			return fmt.Errorf("tlog: catalog segment %d regresses to epoch %d after %d", i, sg.Epoch, epoch)
+		}
+		if sg.SHA256 != "" {
+			if len(sg.SHA256) != 64 {
+				return fmt.Errorf("tlog: catalog segment %d hash %q is not 64 hex digits", i, sg.SHA256)
+			}
+			for _, r := range sg.SHA256 {
+				if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+					return fmt.Errorf("tlog: catalog segment %d hash %q is not lowercase hex", i, sg.SHA256)
+				}
+			}
+		}
+		next = sg.FirstIndex + sg.Events
+		epoch = sg.Epoch
+	}
+	if next != c.SealedEvents {
+		return fmt.Errorf("tlog: catalog lists %d sealed events, segments cover %d", c.SealedEvents, next)
+	}
+	return nil
+}
+
+// EncodeCatalog writes the catalog as indented JSON. The catalog is
+// validated first, so a half-built document never reaches shippers.
+func EncodeCatalog(w io.Writer, c *Catalog) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("tlog: encoding catalog: %w", err)
+	}
+	return nil
+}
+
+// DecodeCatalog reads and validates one catalog document.
+func DecodeCatalog(r io.Reader) (*Catalog, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Catalog
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("tlog: decoding catalog: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,87 @@
+package tlog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleCatalog() *Catalog {
+	return &Catalog{
+		FormatVersion: CatalogFormatVersion,
+		Generation:    7,
+		SealedEvents:  250,
+		Segments: []CatalogSegment{
+			{Epoch: 0, FirstIndex: 0, Events: 100, Bytes: 420, Path: "seg-0000000000-0000000099.mvcseg",
+				SHA256: strings.Repeat("ab", 32)},
+			{Epoch: 0, FirstIndex: 100, Events: 50, Bytes: 230, Path: "seg-0000000100-0000000149.mvcseg",
+				SHA256: strings.Repeat("01", 32)},
+			{Epoch: 1, FirstIndex: 150, Events: 100, Bytes: 410},
+		},
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	c := sampleCatalog()
+	var buf bytes.Buffer
+	if err := EncodeCatalog(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("round trip changed the catalog:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	mutate := func(f func(*Catalog)) *Catalog {
+		c := sampleCatalog()
+		f(c)
+		return c
+	}
+	cases := []struct {
+		name string
+		c    *Catalog
+		want string
+	}{
+		{"wrong version", mutate(func(c *Catalog) { c.FormatVersion = 2 }), "format version"},
+		{"negative generation", mutate(func(c *Catalog) { c.Generation = -1 }), "negative"},
+		{"gap", mutate(func(c *Catalog) { c.Segments[1].FirstIndex = 120 }), "gapless"},
+		{"overlap", mutate(func(c *Catalog) { c.Segments[1].FirstIndex = 80 }), "gapless"},
+		{"epoch regression", mutate(func(c *Catalog) { c.Segments[0].Epoch = 3 }), "epoch"},
+		{"empty segment", mutate(func(c *Catalog) { c.Segments[2].Events = 0 }), "impossible"},
+		{"sealed count mismatch", mutate(func(c *Catalog) { c.SealedEvents = 999 }), "cover"},
+		{"short hash", mutate(func(c *Catalog) { c.Segments[0].SHA256 = "abcd" }), "64 hex"},
+		{"uppercase hash", mutate(func(c *Catalog) {
+			c.Segments[0].SHA256 = strings.Repeat("AB", 32)
+		}), "hex"},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want mention of %q", tc.name, err, tc.want)
+		}
+		// Encode refuses what Validate refuses: no invalid document can be
+		// published.
+		if err := EncodeCatalog(&bytes.Buffer{}, tc.c); err == nil {
+			t.Errorf("%s: EncodeCatalog accepted an invalid catalog", tc.name)
+		}
+	}
+	if err := sampleCatalog().Validate(); err != nil {
+		t.Fatalf("sample catalog invalid: %v", err)
+	}
+	empty := &Catalog{FormatVersion: CatalogFormatVersion}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty catalog invalid: %v", err)
+	}
+}
+
+func TestDecodeCatalogRejectsUnknownFields(t *testing.T) {
+	doc := `{"format_version":1,"generation":1,"sealed_events":0,"segments":[],"surprise":true}`
+	if _, err := DecodeCatalog(strings.NewReader(doc)); err == nil {
+		t.Fatal("unknown field accepted — shippers would silently drop data on schema drift")
+	}
+}

@@ -1,0 +1,50 @@
+package tlog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzCatalogRoundTrip feeds arbitrary bytes to the catalog decoder. A
+// document the decoder accepts must validate (decode enforces it), re-encode,
+// and decode back to the identical catalog — the shipper-facing stability
+// guarantee: nothing the tracker can publish is ambiguous, and nothing a
+// half-written or hostile file contains can crash a shipper.
+func FuzzCatalogRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(`{"format_version":1,"generation":0,"sealed_events":0,"segments":[]}`))
+	{
+		var buf bytes.Buffer
+		if err := EncodeCatalog(&buf, sampleCatalog()); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"format_version":1,"generation":1,"sealed_events":5,` +
+		`"health":"spill failed","auto_seal_disarmed":true,` +
+		`"segments":[{"epoch":0,"first_index":0,"events":5,"bytes":9,"sha256":"` +
+		strings.Repeat("0f", 32) + `"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCatalog(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — the only other acceptable outcome
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid catalog: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeCatalog(&buf, c); err != nil {
+			t.Fatalf("accepted catalog failed to re-encode: %v", err)
+		}
+		back, err := DecodeCatalog(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded catalog rejected: %v", err)
+		}
+		if !reflect.DeepEqual(back, c) {
+			t.Fatalf("round trip changed the catalog:\n got %+v\nwant %+v", back, c)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package tlog
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+// FuzzSegmentMerge drives MergeSegments from both directions. The
+// constructive half derives a computation from the input, seals it as a run
+// of input-chosen cut points, merges the run, and requires the merged
+// segment to replay record-for-record identically to the sources — the
+// compaction equivalence the tracker's lifecycle manager relies on. The
+// adversarial half feeds the raw input (and a bit-flipped sealed run) as
+// merge sources: the only acceptable outcomes are a merged segment or a
+// clean error, never a panic and never output on failure.
+func FuzzSegmentMerge(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2}, uint16(3))
+	f.Add(bytes.Repeat([]byte{0x11, 0xe0, 0x7f}, 40), uint16(257))
+
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16) {
+		// Adversarial half A: raw input as one source, and split in two.
+		mergeMustNotPanic(t, [][]byte{data})
+		if len(data) > 1 {
+			at := int(cut) % len(data)
+			mergeMustNotPanic(t, [][]byte{data[:at], data[at:]})
+		}
+
+		// Constructive half: derive a computation (same recipe as
+		// FuzzSegmentRoundTrip), seal it as a run of small segments.
+		src := data
+		var events []event.Event
+		var stamps []vclock.Vector
+		prev := map[event.ThreadID]vclock.Vector{}
+		for len(src) >= 4 && len(events) < 120 {
+			tid := event.ThreadID(src[0] % 5)
+			oid := event.ObjectID(src[1] % 5)
+			op := event.Op(src[2] % 2)
+			grow := int(src[3] % 8)
+			src = src[4:]
+			v := prev[tid].Clone()
+			for i := 0; i < grow && len(src) > 0; i++ {
+				v = v.Set(len(v), uint64(src[0]))
+				src = src[1:]
+			}
+			prev[tid] = v
+			events = append(events, event.Event{Index: len(events), Thread: tid, Object: oid, Op: op})
+			stamps = append(stamps, v.Clone())
+		}
+		if len(events) < 2 {
+			return
+		}
+		segSize := 1 + int(cut)%len(events)
+		var pieces [][]byte
+		for at := 0; at < len(events); at += segSize {
+			end := at + segSize
+			if end > len(events) {
+				end = len(events)
+			}
+			var payload bytes.Buffer
+			w := NewDeltaWriter(&payload)
+			widths := make([]int, 0, end-at)
+			for i := at; i < end; i++ {
+				if err := w.Append(events[i], stamps[i]); err != nil {
+					t.Fatal(err)
+				}
+				widths = append(widths, len(stamps[i]))
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			piece, err := AppendSegment(nil, SegmentMeta{FirstIndex: at, Count: end - at}, widths, payload.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pieces = append(pieces, piece)
+		}
+		readers := make([]io.Reader, len(pieces))
+		for i, p := range pieces {
+			readers[i] = bytes.NewReader(p)
+		}
+		var merged bytes.Buffer
+		meta, err := MergeSegments(&merged, readers...)
+		if err != nil {
+			t.Fatalf("merging a valid run: %v", err)
+		}
+		if meta.FirstIndex != 0 || meta.Count != len(events) {
+			t.Fatalf("merged meta %+v for %d events", meta, len(events))
+		}
+		sr, err := NewSegmentReader(bytes.NewReader(merged.Bytes()))
+		if err != nil {
+			t.Fatalf("merged segment rejected: %v", err)
+		}
+		for i := 0; ; i++ {
+			e, v, err := sr.Next()
+			if err == io.EOF {
+				if i != len(events) {
+					t.Fatalf("merged replay stopped at %d of %d records", i, len(events))
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("merged record %d: %v", i, err)
+			}
+			if e != events[i] {
+				t.Fatalf("merged record %d: event %+v, want %+v", i, e, events[i])
+			}
+			if len(v) != len(stamps[i]) || !v.Equal(stamps[i]) {
+				t.Fatalf("merged record %d: stamp %v (width %d), want %v (width %d)",
+					i, v, len(v), stamps[i], len(stamps[i]))
+			}
+		}
+
+		// Adversarial half B: corrupt one source of the valid run.
+		if len(pieces) > 1 && len(pieces[0]) > 0 {
+			mut := bytes.Clone(pieces[0])
+			mut[int(cut)%len(mut)] ^= 1 << (cut % 8)
+			corrupted := [][]byte{mut}
+			for _, p := range pieces[1:] {
+				corrupted = append(corrupted, p)
+			}
+			mergeMustNotPanic(t, corrupted)
+		}
+	})
+}
+
+// mergeMustNotPanic merges the given byte slices as segment sources. Any
+// error is acceptable — a bad source surfaces as ErrTruncated/ErrCorrupt/
+// ErrBadMagic/io.EOF from the reader or as MergeSegments' own run checks —
+// but a failed merge must not panic and must not have produced output.
+func mergeMustNotPanic(t *testing.T, srcs [][]byte) {
+	t.Helper()
+	readers := make([]io.Reader, len(srcs))
+	for i, s := range srcs {
+		readers[i] = bytes.NewReader(s)
+	}
+	var out bytes.Buffer
+	if _, err := MergeSegments(&out, readers...); err != nil && out.Len() != 0 {
+		t.Fatalf("failed merge (%v) wrote %d bytes", err, out.Len())
+	}
+}

@@ -1,0 +1,168 @@
+package tlog
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+// splitComputation seals a sample computation as n consecutive segments
+// (uneven sizes, same epoch) and returns the pieces plus the flat reference.
+func splitComputation(t *testing.T, n, epoch int) (pieces [][]byte, events []event.Event, stamps []vclock.Vector) {
+	t.Helper()
+	tr, st := sampleComputation(t)
+	events, stamps = tr.Events(), st
+	rng := rand.New(rand.NewSource(int64(n)))
+	at := 0
+	for i := 0; i < n; i++ {
+		size := (tr.Len() - at) / (n - i)
+		if i < n-1 && size > 1 {
+			size += rng.Intn(size) - size/2 // uneven cuts, still covering all
+		}
+		if i == n-1 {
+			size = tr.Len() - at
+		}
+		meta := SegmentMeta{Epoch: epoch, FirstIndex: at, Count: size}
+		pieces = append(pieces, sealSegment(t, meta, events[at:at+size], stamps[at:at+size]))
+		at += size
+	}
+	return pieces, events, stamps
+}
+
+// TestMergeSegmentsEquivalent is the merge's core contract: reading the
+// merged segment yields exactly the records of reading the sources in order
+// — same events (global indices included), same stamps, same per-record
+// clock widths — with the meta spanning the whole run.
+func TestMergeSegmentsEquivalent(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		pieces, events, stamps := splitComputation(t, n, 2)
+		readers := make([]io.Reader, len(pieces))
+		for i, p := range pieces {
+			readers[i] = bytes.NewReader(p)
+		}
+		var merged bytes.Buffer
+		meta, err := MergeSegments(&merged, readers...)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := SegmentMeta{Epoch: 2, FirstIndex: 0, Count: len(events)}
+		if meta != want {
+			t.Fatalf("n=%d: merged meta %+v, want %+v", n, meta, want)
+		}
+		sr, err := NewSegmentReader(bytes.NewReader(merged.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEv, gotSt := readSegment(t, sr)
+		if len(gotEv) != len(events) {
+			t.Fatalf("n=%d: merged has %d records, want %d", n, len(gotEv), len(events))
+		}
+		for i := range events {
+			if gotEv[i] != events[i] {
+				t.Fatalf("n=%d: record %d event %+v, want %+v", n, i, gotEv[i], events[i])
+			}
+			if !gotSt[i].Equal(stamps[i]) || len(gotSt[i]) != len(stamps[i]) {
+				t.Fatalf("n=%d: record %d stamp %v (width %d), want %v (width %d)",
+					n, i, gotSt[i], len(gotSt[i]), stamps[i], len(stamps[i]))
+			}
+		}
+		// Merging must not cost bytes: one header and one sync point per
+		// thread instead of n of each.
+		if n > 1 {
+			var total int
+			for _, p := range pieces {
+				total += len(p)
+			}
+			if merged.Len() >= total {
+				t.Fatalf("n=%d: merged segment is %d bytes, sources total %d", n, merged.Len(), total)
+			}
+		}
+	}
+}
+
+// TestMergeSegmentsRejectsBadRuns pins the run checks: epoch mixtures, index
+// gaps, overlaps and empty input all fail before any output is produced.
+func TestMergeSegmentsRejectsBadRuns(t *testing.T) {
+	tr, stamps := sampleComputation(t)
+	events := tr.Events()
+	half := tr.Len() / 2
+	seal := func(epoch, first int, ev []event.Event, st []vclock.Vector) []byte {
+		return sealSegment(t, SegmentMeta{Epoch: epoch, FirstIndex: first, Count: len(ev)}, ev, st)
+	}
+	a := seal(0, 0, events[:half], stamps[:half])
+	cases := []struct {
+		name string
+		b    []byte
+		want string
+	}{
+		{"epoch mixture", seal(1, half, events[half:], stamps[half:]), "epoch"},
+		{"gap", seal(0, half+3, events[half:], stamps[half:]), "gapless"},
+		{"overlap", seal(0, half-1, events[half:], stamps[half:]), "gapless"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		_, err := MergeSegments(&out, bytes.NewReader(a), bytes.NewReader(tc.b))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s: wrote %d bytes despite failing", tc.name, out.Len())
+		}
+	}
+	if _, err := MergeSegments(&bytes.Buffer{}); err == nil {
+		t.Error("merging zero segments succeeded")
+	}
+}
+
+// TestPlanSegmentCompaction pins the tiering rules on hand-built shapes.
+func TestPlanSegmentCompaction(t *testing.T) {
+	seg := func(epoch, first, count int, bytes int64) SegmentStat {
+		return SegmentStat{Meta: SegmentMeta{Epoch: epoch, FirstIndex: first, Count: count}, Bytes: bytes}
+	}
+	run := func(n int, each int64) []SegmentStat {
+		var s []SegmentStat
+		for i := 0; i < n; i++ {
+			s = append(s, seg(0, i*10, 10, each))
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		segs   []SegmentStat
+		max    int
+		target int64
+		want   [][2]int
+	}{
+		{"under max plans nothing", run(4, 100), 8, 0, nil},
+		{"no cap merges the whole epoch run", run(6, 100), 4, 0, [][2]int{{0, 6}}},
+		{"target splits into tiers", run(6, 100), 4, 300, [][2]int{{0, 3}, {3, 6}}},
+		{"graduated segments stand alone", []SegmentStat{
+			seg(0, 0, 10, 1000), seg(0, 10, 10, 50), seg(0, 20, 10, 50), seg(0, 30, 10, 1000),
+		}, 2, 500, [][2]int{{1, 3}}},
+		{"epoch boundary breaks the run", []SegmentStat{
+			seg(0, 0, 10, 50), seg(0, 10, 10, 50), seg(1, 20, 10, 50), seg(1, 30, 10, 50),
+		}, 1, 0, [][2]int{{0, 2}, {2, 4}}},
+		{"index gap breaks the run", []SegmentStat{
+			seg(0, 0, 10, 50), seg(0, 15, 10, 50), seg(0, 25, 10, 50),
+		}, 1, 0, [][2]int{{1, 3}}},
+		{"unconditional when max unset", run(2, 100), 0, 0, [][2]int{{0, 2}}},
+	}
+	for _, tc := range cases {
+		got := PlanSegmentCompaction(tc.segs, tc.max, tc.target)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: plan %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: plan %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}

@@ -47,6 +47,14 @@ type SegmentMeta struct {
 	Count      int
 }
 
+// SegmentFileName is the canonical spill-file name for a segment: the
+// global index range keeps names unique and sortable, the tracker's spill
+// path and compaction's merged files both follow it, and the offline tools
+// write the same names so a directory stays self-describing.
+func SegmentFileName(m SegmentMeta) string {
+	return fmt.Sprintf("seg-%010d-%010d.mvcseg", m.FirstIndex, m.FirstIndex+m.Count-1)
+}
+
 // String renders the meta as "epoch 2, events [100,199]".
 func (m SegmentMeta) String() string {
 	if m.Count == 0 {

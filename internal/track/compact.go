@@ -46,14 +46,29 @@ func (s Stamped) Order(t Stamped) vclock.Ordering {
 // revealed so far. It returns the new epoch number and the compacted clock
 // size. Operations blocked on the barrier commit into the new epoch with
 // fresh zero clocks. A seal failure (spill I/O) aborts the compaction with
-// the tracker unchanged and the tail still in memory.
+// the tracker unchanged and the tail still in memory; a successful Compact
+// publishes the catalog, runs the segment-compaction policy, and re-arms
+// auto-sealing after a spill failure.
 func (t *Tracker) Compact() (epoch, size int, err error) {
+	epoch, size, err = t.compactEpoch()
+	if err == nil {
+		t.afterSeal()
+	}
+	return epoch, size, err
+}
+
+// compactEpoch is Compact's barrier section.
+func (t *Tracker) compactEpoch() (epoch, size int, err error) {
 	t.world.Lock()
 	defer t.world.Unlock()
 	t.mergeLocked()
-	if err := t.sealLocked(); err != nil {
+	if err := t.sealLocked(t.mergedLenLocked()); err != nil {
 		return 0, 0, err
 	}
+	// The seal consumed every tail record; drop any empty blocks left over
+	// (a Stream freeze on an idle tracker leaves one) so no block carries
+	// its stale epoch across the boundary.
+	t.tail = nil
 
 	cover := t.cover.Load()
 	analysis := core.Analyze(cover.Graph())

@@ -1,0 +1,289 @@
+// Segment lifecycle management. Sealing (stream.go) turns the merged tail
+// into immutable delta-encoded segments; this file manages those segments
+// for the rest of their lives:
+//
+//   - Tiered compaction rewrites runs of adjacent small segments into
+//     larger ones (tlog.MergeSegments), so a tracker that seals frequently
+//     — aligned intervals, wall-time flushes — does not drown its spill
+//     directory in tiny files, and re-reading sealed history stays one
+//     header and one sync point per thread instead of hundreds. Compaction
+//     moves records between containers without changing a single one:
+//     replay, Snapshot, SnapshotTo bytes and lazy stamps are all invariant
+//     under it.
+//   - The catalog is the read-only view external log shippers poll: which
+//     segments exist, their epochs, index ranges, sizes, spill files and
+//     content hashes, plus the tracker's health. With a spill directory it
+//     is also published as catalog.json (atomic rename) after every seal
+//     and compaction, so shippers never touch the tracker at all.
+//
+// Locking: segments are immutable and their list is append-only outside
+// the compaction gate, so compaction does all its I/O — reading the run,
+// writing the merged container — with no lock held, and takes the world
+// write barrier only to swap the rewritten entries in. Spill files are
+// removed only after the swapped-in catalog generation stops listing them;
+// a Stream caught mid-replay either holds an open descriptor (deletion is
+// invisible to it) or retries against the fresh list (stream.go).
+package track
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mixedclock/internal/tlog"
+)
+
+// CompactPolicy is the tiered-compaction knob set (see
+// tlog.PlanSegmentCompaction for the planning rules):
+//
+//   - MaxSegments is how many sealed segments the tracker tolerates. The
+//     automatic pass (WithCompaction) runs after a seal pushes the count
+//     above it; an explicit CompactSegments with MaxSegments > 0 plans
+//     nothing while the count is at or below it, and with MaxSegments <= 0
+//     compacts unconditionally.
+//   - TargetBytes is the tier ceiling: a segment at or above it has
+//     graduated and is left alone, and a merged group never exceeds it.
+//     Zero (or negative) merges each epoch's run into one segment.
+//
+// Compaction is best-effort: runs never cross an epoch boundary, so the
+// floor is one segment per epoch, and a small TargetBytes can leave more
+// than MaxSegments standing until later seals grow the tiers.
+type CompactPolicy struct {
+	MaxSegments int
+	TargetBytes int64
+}
+
+// WithCompaction arms automatic tiered compaction: after every successful
+// seal (explicit, automatic, or at Compact) whose result exceeds
+// p.MaxSegments segments, a compaction pass rewrites small adjacent
+// segments per the policy. The zero policy (MaxSegments == 0) never runs
+// automatically.
+func WithCompaction(p CompactPolicy) Option {
+	return func(o *options) { o.compact = p }
+}
+
+// maybeCompactSegments runs the armed compaction policy if the sealed
+// segment count has outgrown it, reporting whether a pass ran (and thus
+// already published the catalog).
+func (t *Tracker) maybeCompactSegments() bool {
+	p := t.compact
+	if p.MaxSegments <= 0 {
+		return false
+	}
+	t.world.RLock(0)
+	n := len(t.segs)
+	t.world.RUnlock(0)
+	if n <= p.MaxSegments {
+		return false
+	}
+	eliminated, err := t.CompactSegments(p)
+	if err != nil {
+		t.noteErr(fmt.Errorf("track: auto compaction: %w", err))
+		return false
+	}
+	return eliminated > 0
+}
+
+// CompactSegments runs one tiered-compaction pass over the sealed history
+// under the given policy and reports how many segments the pass eliminated
+// (zero when nothing qualified, or when another pass already holds the
+// gate). Merging happens outside every lock — segments are immutable — and
+// the rewritten entries are swapped in under one short barrier; replaced
+// spill files are deleted only after the new catalog generation is
+// published, and readers caught on a deleted file retry against the merged
+// replacement. Replay is byte-for-byte invariant: SnapshotTo emits
+// identical output before and after.
+func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
+	if !t.compactGate.CompareAndSwap(false, true) {
+		return 0, nil
+	}
+	defer t.compactGate.Store(false)
+
+	t.world.RLock(0)
+	snap := t.segs[:len(t.segs):len(t.segs)]
+	t.world.RUnlock(0)
+	stats := make([]tlog.SegmentStat, len(snap))
+	for i, sg := range snap {
+		stats[i] = tlog.SegmentStat{Meta: sg.meta, Bytes: sg.size}
+	}
+	plan := tlog.PlanSegmentCompaction(stats, p.MaxSegments, p.TargetBytes)
+	if len(plan) == 0 {
+		return 0, nil
+	}
+
+	// Merge each planned run with no lock held. On any failure, unwind the
+	// merged files written so far: the tracker still points at the originals.
+	merged := make([]*segment, len(plan))
+	for gi, g := range plan {
+		sg, err := t.mergeRun(snap[g[0]:g[1]])
+		if err != nil {
+			for _, m := range merged[:gi] {
+				if m != nil && m.path != "" {
+					os.Remove(m.path)
+				}
+			}
+			return 0, fmt.Errorf("track: compacting segments: %w", err)
+		}
+		merged[gi] = sg
+	}
+
+	// Swap under the barrier. The gate is ours, so t.segs can only have
+	// grown since the snapshot; the planned prefix is unchanged.
+	t.world.Lock()
+	newSegs := make([]*segment, 0, len(t.segs)-len(plan))
+	prev := 0
+	for gi, g := range plan {
+		newSegs = append(newSegs, t.segs[prev:g[0]]...)
+		newSegs = append(newSegs, merged[gi])
+		prev = g[1]
+	}
+	newSegs = append(newSegs, t.segs[prev:]...)
+	t.segs = newSegs
+	t.catGen.Add(1)
+	t.world.Unlock()
+
+	// Publish the generation that stops listing the old files, then retire
+	// them.
+	t.publishCatalog()
+	for _, g := range plan {
+		for _, sg := range snap[g[0]:g[1]] {
+			if sg.path != "" {
+				os.Remove(sg.path)
+			}
+			eliminated++
+		}
+	}
+	return eliminated - len(plan), nil
+}
+
+// mergeRun rewrites one gapless single-epoch run of segments as a single
+// segment, spilled next to its sources when the tracker spills.
+func (t *Tracker) mergeRun(run []*segment) (*segment, error) {
+	srcs := make([]io.Reader, len(run))
+	for i, sg := range run {
+		rc, err := sg.open()
+		if err != nil {
+			return nil, err
+		}
+		defer rc.Close()
+		srcs[i] = rc
+	}
+	var buf bytes.Buffer
+	meta, err := tlog.MergeSegments(&buf, srcs...)
+	if err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+	sum := sha256.Sum256(data)
+	out := &segment{meta: meta, size: int64(len(data)), sha: hex.EncodeToString(sum[:])}
+	if t.spill.Dir == "" {
+		out.data = data
+		return out, nil
+	}
+	// Write-then-rename so a crash mid-compaction never leaves a spill file
+	// that parses as a truncated segment.
+	tmp, err := os.CreateTemp(t.spill.Dir, ".seg-*.tmp")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	out.path = filepath.Join(t.spill.Dir, tlog.SegmentFileName(meta))
+	if err := os.Rename(tmp.Name(), out.path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	return out, nil
+}
+
+// Catalog returns the read-only segment catalog: sealed history segment by
+// segment (epoch, index range, size, spill path relative to the spill
+// directory, content hash) plus the tracker's health — Err's text and
+// whether auto-sealing is currently disarmed by a spill failure. The
+// generation changes exactly when the segment list does. With a spill
+// directory, the same document is kept on disk as catalog.json (rewritten
+// by atomic rename after every seal and compaction), which is what external
+// log shippers should poll instead of calling into the tracker.
+func (t *Tracker) Catalog() tlog.Catalog {
+	t.world.RLock(0)
+	gen := t.catGen.Load()
+	sealedEnd := t.tailStart
+	segs := make([]tlog.CatalogSegment, len(t.segs))
+	for i, sg := range t.segs {
+		path := sg.path
+		if path != "" && t.spill.Dir != "" {
+			if rel, err := filepath.Rel(t.spill.Dir, path); err == nil {
+				path = rel
+			}
+		}
+		segs[i] = tlog.CatalogSegment{
+			Epoch:      sg.meta.Epoch,
+			FirstIndex: sg.meta.FirstIndex,
+			Events:     sg.meta.Count,
+			Bytes:      sg.size,
+			Path:       path,
+			SHA256:     sg.sha,
+		}
+	}
+	t.world.RUnlock(0)
+	c := tlog.Catalog{
+		FormatVersion:    tlog.CatalogFormatVersion,
+		Generation:       gen,
+		SealedEvents:     sealedEnd,
+		AutoSealDisarmed: t.sealBroken.Load(),
+		Segments:         segs,
+	}
+	if err := t.Err(); err != nil {
+		c.Health = err.Error()
+	}
+	return c
+}
+
+// publishCatalog rewrites catalog.json in the spill directory (atomic
+// rename; no-op without one). Failures surface through Err — the catalog is
+// advisory for shippers, never load-bearing for the tracker itself.
+func (t *Tracker) publishCatalog() {
+	if t.spill.Dir == "" {
+		return
+	}
+	t.catMu.Lock()
+	defer t.catMu.Unlock()
+	c := t.Catalog()
+	if err := writeCatalogFile(t.spill.Dir, &c); err != nil {
+		t.noteErr(fmt.Errorf("track: publishing catalog: %w", err))
+	}
+}
+
+// CatalogFileName is the catalog's file name inside a spill directory.
+const CatalogFileName = tlog.CatalogFileName
+
+func writeCatalogFile(dir string, c *tlog.Catalog) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".catalog-*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := tlog.EncodeCatalog(tmp, c); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, CatalogFileName))
+}

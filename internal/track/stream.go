@@ -2,11 +2,15 @@ package track
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"mixedclock/internal/event"
 	"mixedclock/internal/tlog"
@@ -22,9 +26,11 @@ type SpillPolicy struct {
 	// (one "seg-<first>-<last>.mvcseg" file each, created on first use).
 	// Spilled segments are dropped from memory; everything that replays
 	// them — Stream, Snapshot, lazy Stamped.Vector of an old event — reads
-	// the file back. Empty keeps sealed segments in memory, still in their
-	// delta-encoded form (typically a small fraction of the vector table
-	// they replace).
+	// the file back. The tracker also maintains a catalog.json there (see
+	// Tracker.Catalog), rewritten atomically after every seal and
+	// compaction, which external log shippers poll instead of the tracker.
+	// Empty keeps sealed segments in memory, still in their delta-encoded
+	// form (typically a small fraction of the vector table they replace).
 	Dir string
 	// SealEvents, when positive, seals automatically once at least this
 	// many events sit unsealed (live per-thread buffers plus the merged
@@ -32,10 +38,26 @@ type SpillPolicy struct {
 	// pause — proportional to SealEvents, like any snapshot — for a bounded
 	// in-memory suffix. Zero seals only at Compact or an explicit Seal.
 	// If an automatic seal fails (spill I/O), the error surfaces through
-	// Err, the history stays in memory, and auto-sealing disarms until an
-	// explicit Seal or Compact succeeds — one failed barrier, not one per
-	// commit.
+	// Err and the catalog health field, the history stays in memory, and
+	// auto-sealing disarms until an explicit Seal or Compact succeeds — one
+	// failed barrier, not one per commit.
 	SealEvents int
+	// SealEvery, when positive, aligns automatic seal boundaries: the tail
+	// is sealed up to the largest multiple of SealEvery events, and any
+	// overshoot (commits keep flowing while the seal is pending) stays in
+	// the tail for the next boundary. Segment edges therefore land at
+	// predictable indices — retention jobs and snapshot consumers can
+	// reason in whole intervals instead of wherever a threshold happened to
+	// trip. Independent of SealEvents; set either or both.
+	SealEvery int
+	// SealInterval, when positive, also triggers a seal once this much wall
+	// time has passed since the last one, bounding how stale the sealed
+	// history (and the catalog shippers poll) can go under light traffic.
+	// The clock is checked on the commit path, so an entirely idle tracker
+	// does not seal on its own. When SealEvery is also set and a full
+	// interval is pending, the boundary stays aligned; otherwise the whole
+	// tail is flushed.
+	SealInterval time.Duration
 }
 
 // WithSpill sets the tracker's spill policy.
@@ -43,13 +65,34 @@ func WithSpill(p SpillPolicy) Option {
 	return func(o *options) { o.spill = p }
 }
 
+// autoSealDue is the cheap post-commit check: committed and sealedUpTo are
+// the tracker's event and sealed counters, lastSealNano the last successful
+// seal time.
+func (p SpillPolicy) autoSealDue(committed, sealedUpTo, lastSealNano int64) bool {
+	if committed <= sealedUpTo {
+		return false
+	}
+	if p.SealEvents > 0 && committed-sealedUpTo >= int64(p.SealEvents) {
+		return true
+	}
+	if p.SealEvery > 0 && committed/int64(p.SealEvery)*int64(p.SealEvery) > sealedUpTo {
+		return true
+	}
+	if p.SealInterval > 0 && time.Now().UnixNano()-lastSealNano >= int64(p.SealInterval) {
+		return true
+	}
+	return false
+}
+
 // segment is one sealed, immutable slice of history: meta plus either the
-// container bytes in memory or the spill file they were written to.
+// container bytes in memory or the spill file they were written to, the
+// container size, and the container's SHA-256 (hex) for the catalog.
 type segment struct {
 	meta tlog.SegmentMeta
 	data []byte // in-memory container; nil when spilled
 	path string // spill file; "" when in memory
 	size int64
+	sha  string
 }
 
 // open returns the segment's container bytes as a stream.
@@ -60,32 +103,50 @@ func (sg *segment) open() (io.ReadCloser, error) {
 	return os.Open(sg.path)
 }
 
-// stream replays the segment's records into sink. The borrowed vectors are
-// handed straight through, so a full segment replay allocates only the
-// reader state, independent of the record count.
-func (sg *segment) stream(sink StampSink) error {
+// streamFrom replays the segment's records with global index in [from, to)
+// into sink (to < 0 means no upper bound) and returns how many records it
+// delivered. Records below from are decoded but not delivered — the delta
+// payload only decodes front to back. The borrowed vectors are handed
+// straight through, so a replay allocates only the reader state,
+// independent of the record count. An error opening the container is
+// returned as errSegmentVanished-wrapped so Stream can distinguish a spill
+// file retired by a concurrent compaction from a sink failure.
+func (sg *segment) streamFrom(sink StampSink, from, to int) (int, error) {
 	rc, err := sg.open()
 	if err != nil {
-		return fmt.Errorf("track: opening segment %v: %w", sg.meta, err)
+		return 0, fmt.Errorf("track: opening segment %v: %w (%w)", sg.meta, err, errSegmentVanished)
 	}
 	defer rc.Close()
 	sr, err := tlog.NewSegmentReader(rc)
 	if err != nil {
-		return fmt.Errorf("track: segment %v: %w", sg.meta, err)
+		return 0, fmt.Errorf("track: segment %v: %w", sg.meta, err)
 	}
+	delivered := 0
 	for {
 		e, v, err := sr.Next()
 		if err == io.EOF {
-			return nil
+			return delivered, nil
 		}
 		if err != nil {
-			return fmt.Errorf("track: segment %v: %w", sg.meta, err)
+			return delivered, fmt.Errorf("track: segment %v: %w", sg.meta, err)
+		}
+		if e.Index < from {
+			continue
+		}
+		if to >= 0 && e.Index >= to {
+			return delivered, nil
 		}
 		if err := sink.ConsumeStamp(e, sg.meta.Epoch, v); err != nil {
-			return err
+			return delivered, err
 		}
+		delivered++
 	}
 }
+
+// errSegmentVanished marks a segment container that could not be opened —
+// either a spill file retired by a concurrent compaction (retriable against
+// a fresh segment list) or one genuinely lost underneath the tracker.
+var errSegmentVanished = errors.New("segment unreadable")
 
 // stampAt replays the segment up to global index idx and returns that
 // record's stamp (freshly reconstructed, owned by the caller).
@@ -110,39 +171,53 @@ func (sg *segment) stampAt(idx int) (vclock.Vector, error) {
 	}
 }
 
-// sealLocked re-encodes the merged tail as one immutable segment and
-// appends it to the sealed history, spilling it to disk when the policy
-// says so. The caller holds the world write lock and has merged. On error
-// (segment encoding, spill I/O) the tail is left untouched, so no history
-// is lost — the tracker just keeps it in memory.
-func (t *Tracker) sealLocked() error {
-	if len(t.tailEv) == 0 {
+// sealLocked re-encodes the tail's records below upTo as one immutable
+// segment, appends it to the sealed history, and spills it to disk when the
+// policy says so. upTo == mergedLenLocked() seals everything (what Seal and
+// Compact do); an aligned auto-seal passes the interval boundary and the
+// overshoot stays in the tail. The caller holds the world write lock and
+// has merged. On error (segment encoding, spill I/O) the tail is left
+// untouched, so no history is lost — the tracker just keeps it in memory.
+func (t *Tracker) sealLocked(upTo int) error {
+	if merged := t.mergedLenLocked(); upTo > merged {
+		upTo = merged
+	}
+	if upTo <= t.tailStart {
 		return nil
 	}
 	var payload bytes.Buffer
 	w := tlog.NewDeltaWriter(&payload)
-	widths := make([]int, len(t.tailEv))
-	for i, e := range t.tailEv {
-		if err := w.Append(e, t.tailStamps[i]); err != nil {
-			return fmt.Errorf("track: sealing: %w", err)
+	widths := make([]int, 0, upTo-t.tailStart)
+	for _, b := range t.tail {
+		if b.start >= upTo {
+			break
 		}
-		widths[i] = len(t.tailStamps[i])
+		n := upTo - b.start
+		if n > len(b.ev) {
+			n = len(b.ev)
+		}
+		for i := 0; i < n; i++ {
+			if err := w.Append(b.ev[i], b.stamps[i]); err != nil {
+				return fmt.Errorf("track: sealing: %w", err)
+			}
+			widths = append(widths, len(b.stamps[i]))
+		}
 	}
 	if err := w.Flush(); err != nil {
 		return fmt.Errorf("track: sealing: %w", err)
 	}
-	meta := tlog.SegmentMeta{Epoch: t.epoch, FirstIndex: t.tailStart, Count: len(t.tailEv)}
+	meta := tlog.SegmentMeta{Epoch: t.epoch, FirstIndex: t.tailStart, Count: upTo - t.tailStart}
 	data, err := tlog.AppendSegment(nil, meta, widths, payload.Bytes())
 	if err != nil {
 		return fmt.Errorf("track: sealing: %w", err)
 	}
-	sg := &segment{meta: meta, size: int64(len(data))}
+	sum := sha256.Sum256(data)
+	sg := &segment{meta: meta, size: int64(len(data)), sha: hex.EncodeToString(sum[:])}
 	if t.spill.Dir != "" {
 		if err := os.MkdirAll(t.spill.Dir, 0o777); err != nil {
 			return fmt.Errorf("track: spilling: %w", err)
 		}
-		name := fmt.Sprintf("seg-%010d-%010d.mvcseg", meta.FirstIndex, meta.FirstIndex+meta.Count-1)
-		sg.path = filepath.Join(t.spill.Dir, name)
+		sg.path = filepath.Join(t.spill.Dir, tlog.SegmentFileName(meta))
 		if err := os.WriteFile(sg.path, data, 0o666); err != nil {
 			return fmt.Errorf("track: spilling: %w", err)
 		}
@@ -150,50 +225,112 @@ func (t *Tracker) sealLocked() error {
 		sg.data = data
 	}
 	t.segs = append(t.segs, sg)
-	t.tailStart += len(t.tailEv)
-	// Drop the tail storage outright (rather than truncating) so a spilling
-	// tracker's footprint really is bounded by the seal interval.
-	t.tailEv = nil
-	t.tailStamps = nil
-	t.sealed.Store(int64(t.tailStart))
+	t.catGen.Add(1)
+	// Drop consumed blocks outright (rather than truncating) so a spilling
+	// tracker's footprint really is bounded by the seal interval; a block
+	// the boundary cuts through is replaced by a copied remainder, never
+	// re-sliced — frozen blocks a Stream still replays must stay intact.
+	var rest []*tailBlock
+	for _, b := range t.tail {
+		end := b.start + len(b.ev)
+		if end <= upTo {
+			continue
+		}
+		if b.start >= upTo {
+			rest = append(rest, b)
+			continue
+		}
+		k := upTo - b.start
+		rest = append(rest, &tailBlock{
+			start:  upTo,
+			epoch:  b.epoch,
+			ev:     append([]event.Event(nil), b.ev[k:]...),
+			stamps: append([]vclock.Vector(nil), b.stamps[k:]...),
+		})
+	}
+	t.tail = rest
+	t.tailStart = upTo
+	t.sealed.Store(int64(upTo))
 	// A successful seal re-arms auto-sealing after an earlier spill failure
-	// (the storage evidently works again).
+	// (the storage evidently works again) and restarts the wall clock.
 	t.sealBroken.Store(false)
+	t.lastSealNano.Store(time.Now().UnixNano())
 	return nil
 }
 
 // Seal quiesces the tracker, merges all per-thread buffers, and seals the
 // tail into an immutable delta-encoded segment (spilled to disk under the
-// policy's Dir). Compact seals implicitly; SpillPolicy.SealEvents seals
+// policy's Dir). Compact seals implicitly; the spill policy seals
 // automatically. Sealing never changes what any reader observes — only
-// where (and how compactly) the history is held.
+// where (and how compactly) the history is held. A successful Seal
+// publishes the catalog and re-arms auto-sealing after a spill failure.
 func (t *Tracker) Seal() error {
 	t.world.Lock()
-	defer t.world.Unlock()
 	t.mergeLocked()
-	return t.sealLocked()
+	err := t.sealLocked(t.mergedLenLocked())
+	t.world.Unlock()
+	if err != nil {
+		return err
+	}
+	t.afterSeal()
+	return nil
+}
+
+// afterSeal is the post-barrier lifecycle work every successful seal path
+// shares: run the auto-compaction pass if the policy asks for one, then
+// publish the catalog shippers poll (unless the compaction pass ran — it
+// publishes itself, as part of its publish-before-delete ordering).
+func (t *Tracker) afterSeal() {
+	if !t.maybeCompactSegments() {
+		t.publishCatalog()
+	}
 }
 
 // maybeAutoSeal runs after a commit has released every lock: when the
-// unsealed suffix has outgrown the policy, one caller wins the gate and
-// seals. A failure (spill I/O) surfaces through Err, leaves the history in
-// memory, and DISARMS auto-sealing — otherwise every later commit would
-// retry a stop-the-world barrier plus failing I/O against broken storage,
-// collapsing the hot path. A subsequent explicit Seal or Compact that
-// succeeds re-arms it.
+// unsealed suffix has outgrown the policy (by count, by aligned interval,
+// or by wall time), one caller wins the gate and seals. A failure (spill
+// I/O) surfaces through Err and the catalog health field, leaves the
+// history in memory, and DISARMS auto-sealing — otherwise every later
+// commit would retry a stop-the-world barrier plus failing I/O against
+// broken storage, collapsing the hot path. A subsequent explicit Seal or
+// Compact that succeeds re-arms it.
 func (t *Tracker) maybeAutoSeal() {
-	n := t.spill.SealEvents
-	if n <= 0 || t.seq.Load()-t.sealed.Load() < int64(n) || t.sealBroken.Load() {
+	if t.sealBroken.Load() ||
+		!t.spill.autoSealDue(t.seq.Load(), t.sealed.Load(), t.lastSealNano.Load()) {
 		return
 	}
 	if !t.sealGate.CompareAndSwap(false, true) {
 		return // someone else is already sealing
 	}
 	defer t.sealGate.Store(false)
-	if err := t.Seal(); err != nil {
+	if err := t.autoSeal(); err != nil {
 		t.sealBroken.Store(true)
 		t.noteErr(err)
+		// Broken storage is exactly what a shipper wants to learn promptly;
+		// publishing may fail on the same storage, which noteErr keeps.
+		t.publishCatalog()
 	}
+}
+
+// autoSeal seals up to the policy's boundary: the largest SealEvery
+// multiple when alignment is on and a full interval is pending, the whole
+// tail otherwise.
+func (t *Tracker) autoSeal() error {
+	t.world.Lock()
+	t.mergeLocked()
+	upTo := t.mergedLenLocked()
+	if n := t.spill.SealEvery; n > 0 {
+		if aligned := upTo / n * n; aligned > t.tailStart {
+			upTo = aligned
+		}
+	}
+	err := t.sealLocked(upTo)
+	t.world.Unlock()
+	if err != nil {
+		return err
+	}
+	t.afterSeal()
+	return nil
 }
 
 // sealedStampLocked reconstructs the stamp of sealed event idx from its
@@ -221,6 +358,9 @@ type SegmentInfo struct {
 	// while the segment is held in memory.
 	Bytes int64
 	Path  string
+	// SHA256 is the hex content hash of the encoded container — what the
+	// catalog advertises to shippers.
+	SHA256 string
 }
 
 // Segments lists the sealed history, oldest first.
@@ -235,6 +375,7 @@ func (t *Tracker) Segments() []SegmentInfo {
 			Events:     sg.meta.Count,
 			Bytes:      sg.size,
 			Path:       sg.path,
+			SHA256:     sg.sha,
 		}
 	}
 	return out
@@ -245,68 +386,148 @@ func (t *Tracker) Segments() []SegmentInfo {
 // in, and its full stamp at the clock width of that moment. The vector is
 // borrowed — valid only until ConsumeStamp returns — so sinks that retain
 // stamps must clone them; sinks that merely encode or aggregate get an
-// allocation profile independent of the computation's length. A sink must
-// not call back into the Tracker: the tail phase of a Stream holds the
-// stop-the-world barrier.
+// allocation profile independent of the computation's length. A sink may
+// block and may call back into the Tracker (no phase of a Stream holds the
+// stop-the-world barrier while the sink runs), though barrier-taking
+// methods like Snapshot will of course stall commits as they always do.
 type StampSink interface {
 	ConsumeStamp(e event.Event, epoch int, v vclock.Vector) error
 }
 
 // Stream replays the whole recorded computation — sealed segments, then the
-// live tail — into sink, in trace order, stopping at the first sink or
-// segment error. Sealed segments are immutable and are replayed without
-// stopping the world; only the final stretch (anything sealed during the
-// replay, then the merged tail) runs under the barrier, so the pause
-// commits observe is proportional to the unsealed suffix, not to history.
-// The result is a consistent snapshot of the tracker as of that final
-// barrier.
+// merged tail — into sink, in trace order, stopping at the first sink or
+// segment error. No phase delivers records under the world write barrier:
+//
+//   - Sealed segments are immutable, so they are replayed with no lock at
+//     all — the tracker keeps committing, sealing and compacting
+//     underneath. (A compaction pass may retire a spill file mid-stream;
+//     the replay retries against the fresh segment list, whose merged
+//     segment carries the identical records.)
+//   - The merged tail is double-buffered: Stream takes the barrier only
+//     long enough to merge the per-thread buffers and freeze the tail —
+//     commits then continue into a fresh active block while the frozen
+//     blocks are replayed outside the barrier. The pause commits observe is
+//     the O(unsealed suffix) merge, never the sink's I/O.
+//
+// The result is a consistent snapshot of the tracker as of the freeze: all
+// events below the freeze point, none after, each with the epoch it was
+// recorded in.
 func (t *Tracker) Stream(sink StampSink) error {
-	// Phase 1: sealed history, no barrier. Segments are only ever appended
-	// (under the write lock) and never mutated, so a snapshot of the slice
-	// is safe to read at leisure. The catch-up rounds are bounded: under
-	// sustained auto-sealing a streamer on slow storage could otherwise
-	// chase freshly sealed segments forever; whatever remains after the
-	// last round is replayed under the barrier, which guarantees
+	// Phase 1: sealed history, no barrier. The catch-up rounds are bounded:
+	// under sustained auto-sealing a streamer on slow storage could
+	// otherwise chase freshly sealed segments forever; whatever remains
+	// after the last round is picked up by the freeze, which guarantees
 	// termination.
-	done := 0
+	delivered := 0
 	for round := 0; round < 4; round++ {
-		segs := t.segmentsFrom(done)
-		if len(segs) == 0 {
+		n, err := t.replaySealed(sink, delivered, -1)
+		if err != nil {
+			return err
+		}
+		if n == delivered {
 			break
 		}
-		for _, sg := range segs {
-			if err := sg.stream(sink); err != nil {
+		delivered = n
+	}
+	// Phase 2: the freeze — the stream's only barrier. Merge the per-thread
+	// buffers, note how far sealed history reaches, and freeze every tail
+	// block; commits restart into a fresh active block the moment the
+	// barrier lifts.
+	t.world.Lock()
+	t.mergeLocked()
+	sealedEnd := t.tailStart
+	blocks := make([]*tailBlock, len(t.tail))
+	copy(blocks, t.tail)
+	for _, b := range blocks {
+		b.frozen = true
+	}
+	t.world.Unlock()
+	// Phase 3: no barrier. Catch up on segments sealed during phase 1, then
+	// replay the frozen blocks. Concurrent seals may consume the frozen
+	// blocks (our references keep them alive) and concurrent compaction may
+	// rewrite the very segments being caught up on — both invisible here.
+	if delivered < sealedEnd {
+		n, err := t.replaySealed(sink, delivered, sealedEnd)
+		if err != nil {
+			return err
+		}
+		if n < sealedEnd {
+			return fmt.Errorf("track: sealed history unreadable from event %d (want %d): %w",
+				n, sealedEnd, errSegmentVanished)
+		}
+	}
+	for _, b := range blocks {
+		for i, e := range b.ev {
+			if err := sink.ConsumeStamp(e, b.epoch, b.stamps[i]); err != nil {
 				return err
 			}
-		}
-		done += len(segs)
-	}
-	// Phase 2: the barrier — catch up on segments sealed while phase 1
-	// streamed, then the merged tail.
-	t.world.Lock()
-	defer t.world.Unlock()
-	t.mergeLocked()
-	for _, sg := range t.segs[done:] {
-		if err := sg.stream(sink); err != nil {
-			return err
-		}
-	}
-	for i, e := range t.tailEv {
-		if err := sink.ConsumeStamp(e, t.epoch, t.tailStamps[i]); err != nil {
-			return err
 		}
 	}
 	return nil
 }
 
-// segmentsFrom snapshots the sealed-segment list from position n on.
-func (t *Tracker) segmentsFrom(n int) []*segment {
+// replaySealed streams sealed records with global index in [from, to) into
+// sink (to < 0: as far as sealed history currently reaches) and returns the
+// next undelivered index. The segment list is snapshotted without the write
+// barrier; when a spill file vanishes before it is opened — the signature
+// of a concurrent compaction retiring it — the replay re-snapshots and
+// retries, since the merged replacement covers the same records. A segment
+// that stays unreadable across retries (a spill file genuinely lost) is an
+// error.
+func (t *Tracker) replaySealed(sink StampSink, from, to int) (int, error) {
+	delivered := from
+	// The retry budget is per stall, not per stream: progress since the
+	// last snapshot proves the list is live and resets it, so a long replay
+	// under sustained compaction retries each retirement it trips over,
+	// while a genuinely lost file still fails after maxRetries fruitless
+	// snapshots.
+	const maxRetries = 3
+	for retries := 0; ; {
+		segs := t.sealedCovering(delivered)
+		if len(segs) == 0 {
+			return delivered, nil
+		}
+		snapshotAt := delivered
+		vanished := false
+		for _, sg := range segs {
+			if to >= 0 && sg.meta.FirstIndex >= to {
+				return delivered, nil
+			}
+			n, err := sg.streamFrom(sink, delivered, to)
+			delivered += n
+			if err != nil {
+				if errors.Is(err, errSegmentVanished) {
+					if delivered > snapshotAt {
+						retries = 0
+					}
+					if retries < maxRetries {
+						retries++
+						vanished = true
+						break // re-snapshot and retry from delivered
+					}
+				}
+				return delivered, err
+			}
+			if to >= 0 && delivered >= to {
+				return delivered, nil
+			}
+		}
+		if !vanished {
+			return delivered, nil
+		}
+	}
+}
+
+// sealedCovering snapshots the suffix of the sealed-segment list covering
+// global indices at or above from.
+func (t *Tracker) sealedCovering(from int) []*segment {
 	t.world.RLock(0)
 	defer t.world.RUnlock(0)
-	if n >= len(t.segs) {
-		return nil
-	}
-	return t.segs[n:len(t.segs):len(t.segs)]
+	i := sort.Search(len(t.segs), func(i int) bool {
+		m := t.segs[i].meta
+		return m.FirstIndex+m.Count > from
+	})
+	return t.segs[i:len(t.segs):len(t.segs)]
 }
 
 // SnapshotTo streams the recorded computation into w as a delta-encoded
@@ -314,7 +535,9 @@ func (t *Tracker) segmentsFrom(n int) []*segment {
 // mvc inspect), without ever materializing a vector table: sealed segments
 // decode straight back into the writer and the tail's stamps are encoded in
 // place. Output bytes are identical to materializing Snapshot() and writing
-// it with tlog.WriteAllDelta — the pipeline changes the cost, not the log.
+// it with tlog.WriteAllDelta — the pipeline changes the cost, not the log —
+// and are unchanged by sealing and compaction, which move records between
+// containers without touching them.
 func (t *Tracker) SnapshotTo(w io.Writer) error {
 	lw := tlog.NewDeltaWriter(w)
 	if err := t.Stream(deltaSink{lw}); err != nil {

@@ -98,17 +98,49 @@
 // plus the tail, in trace order, through one path; the bulk readers never
 // build a []Vector unless the caller asked for exactly that.
 //
+// Seal boundaries follow the spill policy: SealEvents seals whenever that
+// many events sit unsealed, SealEvery aligns boundaries to multiples of the
+// interval (the overshoot waits in the tail), and SealInterval caps by wall
+// time how stale sealed history can go under light traffic.
+//
+// # Segment lifecycle: compaction tiers and the catalog
+//
+// Sealed segments are managed for the rest of their lives by the lifecycle
+// manager (lifecycle.go). Tiered compaction (CompactSegments, armed
+// automatically by WithCompaction) rewrites runs of adjacent small
+// segments into larger ones: runs never cross an epoch boundary, a segment
+// at or above CompactPolicy.TargetBytes has graduated out of its tier, and
+// the pass triggers once more than MaxSegments segments exist. Compaction
+// moves records between containers without changing one bit of replay:
+// events, stamps, widths and SnapshotTo output bytes are all invariant.
+// The merge runs with no lock held (segments are immutable) and only the
+// list swap takes the barrier; replaced spill files are deleted after the
+// catalog generation that stops listing them is published, and a Stream
+// caught on a vanished file retries against the merged replacement.
+//
+// The Catalog is the stable read-only view external log shippers poll:
+// epoch, index range, byte size, spill path and content hash per segment,
+// plus tracker health (Err text and whether a spill failure disarmed
+// auto-sealing). A spilling tracker also publishes it as catalog.json in
+// the spill directory — rewritten by atomic rename after every seal and
+// compaction — so shippers never touch the tracker at all.
+//
 // # Streaming and barriers
 //
 // Stream (and SnapshotTo on top of it) delivers the computation to a
-// StampSink in two phases: sealed segments are immutable, so they are read
-// WITHOUT the world lock — the tracker keeps committing, sealing and
-// compacting underneath — and only the final stretch (segments sealed
-// meanwhile, then the merged tail) holds the write lock. The stream is
-// therefore a consistent snapshot as of its final barrier, and the stall it
-// imposes on commits is proportional to the tail, not to history: trackers
-// that seal regularly pause only for the last SealEvents-ish events. Sinks
-// must not call back into the Tracker (the tail phase holds the barrier).
+// StampSink without ever running the sink under the world barrier. Sealed
+// segments are immutable, so they are read WITHOUT the world lock — the
+// tracker keeps committing, sealing and compacting underneath. The merged
+// tail is double-buffered: Stream takes the barrier only to merge the
+// per-thread buffers and freeze the tail blocks, then replays the frozen
+// blocks outside the barrier while commits continue into a fresh active
+// block. The memory model is freeze-and-share: a frozen block is never
+// mutated again (sealing replaces a partially sealed block with a copied
+// remainder rather than re-slicing it), so the replay needs no lock and no
+// clones; the streamer's references keep consumed blocks alive past any
+// seal. The stream is a consistent snapshot as of its freeze point, and the
+// stall commits observe is the O(unsealed suffix) merge — never the sink's
+// I/O. Sinks may block and may call back into the Tracker.
 package track
 
 import (
@@ -116,6 +148,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mixedclock/internal/core"
 	"mixedclock/internal/event"
@@ -201,6 +234,24 @@ func (c *stampCell) vector() vclock.Vector {
 // are handed out from the chunk so the per-event allocation amortizes away.
 const cellChunkSize = 128
 
+// tailBlock is one chunk of the merged-but-unsealed tail: events in trace
+// order with their materialized stamps, ev[i] at global index start+i, all
+// belonging to one epoch. The last block of the chain is active — the
+// barrier merges new records into it; earlier blocks were frozen by a
+// Stream, which swapped them out from under the barrier and may be
+// replaying them with no lock held, so a frozen block is never mutated.
+// Sealing consumes blocks (a streamer's own references keep them alive) and
+// a partial seal replaces the straddled block with a copied remainder
+// rather than re-slicing it, so frozen storage is never aliased by storage
+// that still grows.
+type tailBlock struct {
+	start  int
+	epoch  int
+	frozen bool
+	ev     []event.Event
+	stamps []vclock.Vector
+}
+
 // record is one committed operation waiting in a thread's append buffer:
 // the event plus the arena range of the components it changed relative to
 // the thread's previous record, and the clock width at commit time (stamps
@@ -248,21 +299,31 @@ type Tracker struct {
 
 	// Merged history, written only under the world write lock. Records
 	// below tailStart live in segs (sealed, immutable, possibly spilled to
-	// disk); the tail slices hold the merged-but-unsealed suffix, with
-	// tailEv[i] at global index tailStart+i and len(tailStamps[i]) equal to
-	// the clock width at that record.
-	spill      SpillPolicy
-	segs       []*segment
-	tailStart  int
-	tailEv     []event.Event
-	tailStamps []vclock.Vector
+	// disk); tail holds the merged-but-unsealed suffix as a chain of
+	// contiguous blocks — the last one active (the barrier merges new
+	// records into it), earlier ones frozen by a Stream and therefore
+	// immutable (a replay may be reading them with no lock held).
+	spill     SpillPolicy
+	compact   CompactPolicy
+	segs      []*segment
+	tailStart int
+	tail      []*tailBlock
 	// sealed mirrors tailStart for the lock-free auto-seal check in Do;
 	// sealGate admits one auto-seal attempt at a time; sealBroken disarms
 	// auto-sealing after a spill failure (one failed barrier, not one per
-	// commit) until an explicit Seal or Compact succeeds.
-	sealed     atomic.Int64
-	sealGate   atomic.Bool
-	sealBroken atomic.Bool
+	// commit) until an explicit Seal or Compact succeeds. lastSealNano is
+	// when the last successful seal (or the tracker's creation) happened —
+	// the reference point of the wall-time sealing trigger.
+	sealed       atomic.Int64
+	sealGate     atomic.Bool
+	sealBroken   atomic.Bool
+	lastSealNano atomic.Int64
+	// compactGate admits one segment-compaction pass at a time; catGen
+	// counts segment-list generations (bumped by every seal and every
+	// compaction swap), and catMu serializes catalog.json publications.
+	compactGate atomic.Bool
+	catGen      atomic.Int64
+	catMu       sync.Mutex
 
 	// Epoch bookkeeping, written only under the world write lock. epoch is
 	// additionally read by commits under the read lock; epochStart[i] is
@@ -283,6 +344,7 @@ type options struct {
 	mech    core.Mechanism
 	backend vclock.Backend
 	spill   SpillPolicy
+	compact CompactPolicy
 }
 
 // WithMechanism selects the online component-choice mechanism (default: the
@@ -314,7 +376,9 @@ func NewTracker(opts ...Option) *Tracker {
 		requested: o.backend,
 		backend:   core.ResolveBackend(o.backend, 0, 0),
 		spill:     o.spill,
+		compact:   o.compact,
 	}
+	t.lastSealNano.Store(time.Now().UnixNano())
 	t.cover.Store(core.NewSharedCover(core.NewCoverTracker(o.mech)))
 	return t
 }
@@ -569,19 +633,38 @@ func (t *Tracker) mergeLocked() {
 		return
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].ev.Index < pending[j].ev.Index })
+	b := t.activeBlockLocked()
 	for _, r := range pending {
-		if want := t.tailStart + len(t.tailEv); r.ev.Index != want {
+		if want := b.start + len(b.ev); r.ev.Index != want {
 			// Indices are dense by construction; a gap means lost records.
 			t.noteErr(fmt.Errorf("track: merge misaligned: event %v landed at trace index %d", r.ev, want))
 		}
-		t.tailEv = append(t.tailEv, r.ev)
-		t.tailStamps = append(t.tailStamps, r.v)
+		b.ev = append(b.ev, r.ev)
+		b.stamps = append(b.stamps, r.v)
 	}
+}
+
+// activeBlockLocked returns the tail block new records merge into, starting
+// a fresh one when the chain is empty or its last block was frozen by a
+// Stream. The caller holds the world write lock.
+func (t *Tracker) activeBlockLocked() *tailBlock {
+	if n := len(t.tail); n > 0 && !t.tail[n-1].frozen {
+		return t.tail[n-1]
+	}
+	b := &tailBlock{start: t.mergedLenLocked(), epoch: t.epoch}
+	t.tail = append(t.tail, b)
+	return b
 }
 
 // mergedLenLocked is the number of records in ordered history (sealed +
 // tail); under the write lock after a merge it equals the event count.
-func (t *Tracker) mergedLenLocked() int { return t.tailStart + len(t.tailEv) }
+func (t *Tracker) mergedLenLocked() int {
+	if n := len(t.tail); n > 0 {
+		last := t.tail[n-1]
+		return last.start + len(last.ev)
+	}
+	return t.tailStart
+}
 
 // stampAt quiesces the tracker and returns the (internal) stamp of event
 // idx — the lazy-materialization path behind Stamped. Tail stamps are an
@@ -592,8 +675,10 @@ func (t *Tracker) stampAt(idx int) vclock.Vector {
 	defer t.world.Unlock()
 	t.mergeLocked()
 	if idx >= t.tailStart {
-		if i := idx - t.tailStart; i >= 0 && i < len(t.tailStamps) {
-			return t.tailStamps[i]
+		for _, b := range t.tail {
+			if idx < b.start+len(b.ev) {
+				return b.stamps[idx-b.start]
+			}
 		}
 		// Unreachable for cells minted by commit; guard against decay.
 		return nil

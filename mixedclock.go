@@ -82,8 +82,16 @@ type (
 	// segments are spilled.
 	SpillPolicy = track.SpillPolicy
 	// SegmentInfo describes one sealed segment (epoch, index range, size,
-	// spill file), as reported by Tracker.Segments.
+	// spill file, content hash), as reported by Tracker.Segments.
 	SegmentInfo = track.SegmentInfo
+	// CompactPolicy is the tiered segment-compaction knob set: how many
+	// sealed segments to tolerate and the size ceiling of a merged tier.
+	CompactPolicy = track.CompactPolicy
+	// Catalog is the read-only, JSON-serializable view of sealed history
+	// that external log shippers poll; see Tracker.Catalog.
+	Catalog = tlog.Catalog
+	// CatalogSegment is one sealed segment as the catalog describes it.
+	CatalogSegment = tlog.CatalogSegment
 	// StampSink consumes a streamed computation record by record; see
 	// Tracker.Stream.
 	StampSink = track.StampSink
@@ -172,6 +180,17 @@ func WithBackend(b Backend) TrackerOption { return track.WithBackend(b) }
 // memory. Sealed history is replayed transparently by Snapshot, Stream,
 // SnapshotTo and lazy Stamped vectors.
 func WithSpill(p SpillPolicy) TrackerOption { return track.WithSpill(p) }
+
+// WithCompaction arms automatic tiered compaction of sealed segments: after
+// any seal that leaves more than MaxSegments segments, adjacent small
+// segments are merged (never across an epoch boundary, never past
+// TargetBytes) with replay bytes unchanged. Tracker.CompactSegments runs a
+// pass explicitly.
+func WithCompaction(p CompactPolicy) TrackerOption { return track.WithCompaction(p) }
+
+// ReadCatalog loads and validates a segment catalog document, as published
+// by a spilling tracker to catalog.json in its spill directory.
+func ReadCatalog(r io.Reader) (*Catalog, error) { return tlog.DecodeCatalog(r) }
 
 // Run drives a timestamper over a whole trace, returning one timestamp per
 // event.
