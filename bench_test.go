@@ -742,3 +742,59 @@ func BenchmarkGreedyVsOptimalCover(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkRecover measures track.Open rebuilding a live tracker from a
+// spill directory left by a crash: every listed segment verified (size,
+// SHA-256, full decode), per-thread and per-object clocks and the component
+// cover reconstructed from the resume manifest plus a current-epoch replay,
+// and a fresh catalog generation published. The run is built once per
+// configuration; every iteration is a full crash recovery. -benchmem locks
+// in the reconstruction allocation profile for cmd/benchdiff.
+func BenchmarkRecover(b *testing.B) {
+	for _, cfg := range []struct{ segments, perSegment int }{
+		{8, 512},
+		{32, 512},
+	} {
+		b.Run(fmt.Sprintf("segs=%d/events=%d", cfg.segments, cfg.segments*cfg.perSegment), func(b *testing.B) {
+			dir := b.TempDir()
+			tracker, err := mixedclock.Open(dir, mixedclock.WithStore(mixedclock.Store{
+				Spill: mixedclock.SpillPolicy{SealEvents: cfg.perSegment},
+			}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			const nThreads, nObjects = 4, 8
+			threads := make([]*mixedclock.Thread, nThreads)
+			for i := range threads {
+				threads[i] = tracker.NewThread(fmt.Sprintf("w%d", i))
+			}
+			objs := make([]*mixedclock.Object, nObjects)
+			for i := range objs {
+				objs[i] = tracker.NewObject(fmt.Sprintf("o%d", i))
+			}
+			for i := 0; i < cfg.segments*cfg.perSegment; i++ {
+				threads[i%nThreads].Write(objs[(i*3)%nObjects], nil)
+			}
+			if err := tracker.Seal(); err != nil {
+				b.Fatal(err)
+			}
+			if err := tracker.Err(); err != nil {
+				b.Fatal(err)
+			}
+			// Abandoned without Close: each iteration below recovers a
+			// crashed run, not a cleanly closed one.
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				re, err := mixedclock.Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ri := re.Recovery()
+				if ri == nil || ri.Events != cfg.segments*cfg.perSegment || re.Err() != nil {
+					b.Fatalf("unhealthy recovery: %+v, err %v", ri, re.Err())
+				}
+			}
+		})
+	}
+}

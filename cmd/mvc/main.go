@@ -7,6 +7,9 @@
 //	mvc order     [-trace FILE] -i A -j B  causal relation between two events
 //	mvc detect    [-trace FILE]            concurrency census + schedule-sensitive pairs
 //	mvc recover   [-trace FILE] -fail K    recovery line excluding event K's causal future
+//	mvc recover   -dir DIR                 reopen a spill directory through
+//	                                       crash recovery and report the
+//	                                       resumed epoch, index and health
 //	mvc validate  [-trace FILE]            prove every clock scheme valid on this trace
 //	mvc graph     [-trace FILE]            Graphviz DOT with the minimum cover filled
 //	mvc export    [-trace FILE] -out LOG [-format full|delta]
@@ -18,8 +21,10 @@
 //	                                       inspect .mvcseg spill files, or
 //	                                       merge them into one log
 //	mvc catalog   [-verify] DIR|FILE       print a spill directory's segment
-//	                                       catalog (catalog.json), optionally
-//	                                       verifying file sizes and hashes
+//	                                       catalog (catalog.json); -verify
+//	                                       also checks file sizes, hashes,
+//	                                       the shipper cursor and the
+//	                                       retention floor
 //	mvc compact   [-max N] [-target BYTES] DIR
 //	                                       tier-compact a spill directory:
 //	                                       merge runs of adjacent small
@@ -83,6 +88,7 @@ func main() {
 	i := fs.Int("i", -1, "order: first event index")
 	j := fs.Int("j", -1, "order: second event index")
 	fail := fs.Int("fail", -1, "recover: failed event index")
+	dir := fs.String("dir", "", "recover: reopen this spill directory instead of cutting a trace")
 	out := fs.String("out", "", "export: output .mvclog path")
 	logPath := fs.String("log", "", "inspect: input .mvclog path")
 	backendName := fs.String("backend", "flat", "clock representation: flat, tree or auto")
@@ -122,6 +128,14 @@ func main() {
 	}
 	if cmd == "compact" {
 		if err := compactCmd(os.Stdout, fs.Args(), *maxSegs, *target); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	// recover -dir is durable-run recovery (reopen a spill directory); the
+	// trace-based form below cuts a recovery line instead.
+	if cmd == "recover" && *dir != "" {
+		if err := recoverDir(os.Stdout, *dir); err != nil {
 			fatal(err)
 		}
 		return
@@ -284,6 +298,52 @@ func recover_(w io.Writer, tr *event.Trace, fail int, b vclock.Backend) error {
 	fmt.Fprintf(w, "failure at event %d %v\n", fail, tr.At(fail))
 	fmt.Fprintf(w, "contaminated events: %d of %d\n", len(contaminated), tr.Len())
 	fmt.Fprintf(w, "recovery line: %v (%d events survive)\n", line, line.Size())
+	return nil
+}
+
+// recoverDir reopens a spill directory through the durable-run recovery path
+// (track.Open) and reports what came back: the resumed epoch and trace index,
+// the retention floor, quarantined files, and overall health. The reopened
+// run is then closed cleanly, so the directory is left with a repaired,
+// Closed catalog generation.
+func recoverDir(w io.Writer, dir string) error {
+	t, err := track.Open(dir)
+	if err != nil {
+		return err
+	}
+	ri := t.Recovery()
+	if ri == nil {
+		t.Close()
+		return fmt.Errorf("%s: no recovery performed (in-memory tracker?)", dir)
+	}
+	fmt.Fprintf(w, "recovered %s\n", dir)
+	fmt.Fprintf(w, "  events:    %d sealed; committing resumes at index %d\n", ri.Events, ri.Events)
+	fmt.Fprintf(w, "  epoch:     %d\n", ri.Epoch)
+	fmt.Fprintf(w, "  segments:  %d adopted, catalog generation %d\n", ri.Segments, ri.Generation)
+	if ri.RetainedFloor > 0 {
+		fmt.Fprintf(w, "  retention: events below %d retired\n", ri.RetainedFloor)
+	}
+	shutdown := "crash (no Close marker; unsealed suffix lost)"
+	if ri.CleanClose {
+		shutdown = "clean Close"
+	}
+	fmt.Fprintf(w, "  shutdown:  %s\n", shutdown)
+	if ri.UsedPrevCatalog {
+		fmt.Fprintln(w, "  catalog:   torn; fell back to the previous generation")
+	}
+	for _, q := range ri.Quarantined {
+		fmt.Fprintf(w, "  quarantined: %s\n", q)
+	}
+	fmt.Fprintf(w, "  registry:  %d threads, %d objects\n", len(t.Threads()), len(t.Objects()))
+	if herr := t.Err(); herr != nil {
+		fmt.Fprintf(w, "health: DEGRADED: %v\n", herr)
+	} else {
+		fmt.Fprintln(w, "health: ok")
+	}
+	if err := t.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "closed cleanly; catalog republished")
 	return nil
 }
 
@@ -681,6 +741,16 @@ func catalogCmd(w io.Writer, args []string, verify bool) error {
 	}
 	fmt.Fprintf(w, "catalog generation %d: %d segments, %d sealed events\n",
 		c.Generation, len(c.Segments), c.SealedEvents)
+	if c.Closed {
+		fmt.Fprintln(w, "run closed cleanly")
+	}
+	if c.RetainedEvents > 0 {
+		fmt.Fprintf(w, "retention floor: events below %d retired\n", c.RetainedEvents)
+	}
+	if c.Resume != nil {
+		fmt.Fprintf(w, "resume manifest: epoch %d, %d threads, %d objects, %d components\n",
+			c.Resume.Epoch, len(c.Resume.Threads), len(c.Resume.Objects), len(c.Resume.Components))
+	}
 	if c.Health != "" {
 		fmt.Fprintf(w, "health: %s\n", c.Health)
 	}
@@ -713,8 +783,45 @@ func catalogCmd(w io.Writer, args []string, verify bool) error {
 		}
 	}
 	if verify {
+		// Retention invariant: coverage is gapless starting exactly at the
+		// floor (Decode already validated ordering; restate the floor check
+		// here so a hand-edited catalog is reported, not just rejected).
+		if len(c.Segments) > 0 && c.Segments[0].FirstIndex != c.RetainedEvents {
+			fmt.Fprintf(w, "RETENTION MISMATCH: floor is %d but coverage starts at %d\n",
+				c.RetainedEvents, c.Segments[0].FirstIndex)
+			bad++
+		}
+		// Shipper cursor invariants, when a shipper has run against this
+		// directory: the cursor can never be ahead of the catalog, and a
+		// retention floor above it means events were retired unshipped.
+		if cf, err := os.Open(filepath.Join(dir, tlog.ShipCursorFileName)); err == nil {
+			cur, cerr := tlog.DecodeShipCursor(cf)
+			cf.Close()
+			switch {
+			case cerr != nil:
+				fmt.Fprintf(w, "shipper cursor: INVALID: %v\n", cerr)
+				bad++
+			case cur.Generation > c.Generation:
+				fmt.Fprintf(w, "shipper cursor: AHEAD of catalog: generation %d > %d (catalog restored from backup?)\n",
+					cur.Generation, c.Generation)
+				bad++
+			case cur.ShippedEvents > c.SealedEvents:
+				fmt.Fprintf(w, "shipper cursor: AHEAD of catalog: %d events shipped, only %d sealed\n",
+					cur.ShippedEvents, c.SealedEvents)
+				bad++
+			case cur.ShippedEvents < c.RetainedEvents:
+				fmt.Fprintf(w, "shipper cursor: RETENTION OUTRAN SHIPPING: events [%d,%d) were retired unshipped\n",
+					cur.ShippedEvents, c.RetainedEvents)
+				bad++
+			default:
+				fmt.Fprintf(w, "shipper cursor: generation %d, %d events shipped\n",
+					cur.Generation, cur.ShippedEvents)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
 		if bad > 0 {
-			return fmt.Errorf("%d of %d segment files failed verification", bad, checked)
+			return fmt.Errorf("%d verification checks failed", bad)
 		}
 		fmt.Fprintf(w, "verified %d segment files against the catalog", checked)
 		if skipped := len(c.Segments) - checked; skipped > 0 {
@@ -893,6 +1000,9 @@ func rewriteCatalog(dir string) error {
 		Generation:       old.Generation + 1,
 		Health:           old.Health,
 		AutoSealDisarmed: old.AutoSealDisarmed,
+		RetainedEvents:   old.RetainedEvents,
+		Closed:           old.Closed,
+		Resume:           old.Resume,
 	}
 	for _, path := range files {
 		data, err := os.ReadFile(path)
@@ -904,6 +1014,16 @@ func rewriteCatalog(dir string) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		m := sr.Meta()
+		// A merged segment inherits the newest seal time of the old entries
+		// it covers, the same rule the tracker's own compaction applies.
+		var sealedUnix int64
+		for _, osg := range old.Segments {
+			if osg.FirstIndex >= m.FirstIndex &&
+				osg.FirstIndex+osg.Events <= m.FirstIndex+m.Count &&
+				osg.SealedUnix > sealedUnix {
+				sealedUnix = osg.SealedUnix
+			}
+		}
 		c.Segments = append(c.Segments, tlog.CatalogSegment{
 			Epoch:      m.Epoch,
 			FirstIndex: m.FirstIndex,
@@ -911,6 +1031,7 @@ func rewriteCatalog(dir string) error {
 			Bytes:      int64(len(data)),
 			Path:       filepath.Base(path),
 			SHA256:     hashHex(data),
+			SealedUnix: sealedUnix,
 		})
 	}
 	sort.Slice(c.Segments, func(i, j int) bool { return c.Segments[i].FirstIndex < c.Segments[j].FirstIndex })

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"mixedclock/internal/event"
 	"mixedclock/internal/tlog"
+	"mixedclock/internal/track"
 	"mixedclock/internal/vclock"
 )
 
@@ -466,5 +468,83 @@ func TestCatalogAndCompact(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "nothing to compact") {
 		t.Errorf("idempotent compact output: %s", buf.String())
+	}
+}
+
+// TestRecoverDirCommand reopens a crashed spill directory through the
+// durable-run recovery path and checks the report, then verifies the
+// catalog together with a shipper cursor.
+func TestRecoverDirCommand(t *testing.T) {
+	dir := t.TempDir()
+	spill := filepath.Join(dir, "run")
+	tr, err := track.Open(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, ob := tr.NewThread("t0"), tr.NewObject("o0")
+	for i := 0; i < 12; i++ {
+		th.Write(ob, nil)
+	}
+	if err := tr.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	sealed := tr.Events()
+	th.Write(ob, nil) // unsealed suffix a crash loses
+	// Simulated crash: the tracker is abandoned without Close.
+
+	var buf bytes.Buffer
+	if err := recoverDir(&buf, spill); err != nil {
+		t.Fatalf("recoverDir: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		fmt.Sprintf("resumes at index %d", sealed),
+		"crash (no Close marker",
+		"1 threads, 1 objects",
+		"health: ok",
+		"closed cleanly",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recover -dir output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Ship the run, then catalog -verify must report the cursor as healthy.
+	mirror := filepath.Join(dir, "mirror")
+	sh := &track.Shipper{Src: spill, Dst: mirror}
+	if _, err := sh.ConsumeUpTo(0); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := catalogCmd(&buf, []string{spill}, true); err != nil {
+		t.Fatalf("catalog -verify: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "shipper cursor: generation") {
+		t.Errorf("catalog -verify missing cursor report:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "run closed cleanly") {
+		t.Errorf("catalog -verify missing Closed marker:\n%s", buf.String())
+	}
+
+	// A cursor ahead of the catalog fails verification.
+	var cbuf bytes.Buffer
+	if err := tlog.EncodeShipCursor(&cbuf, &tlog.ShipCursor{
+		FormatVersion: tlog.ShipCursorFormatVersion,
+		Generation:    1 << 40,
+		ShippedEvents: sealed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(spill, tlog.ShipCursorFileName), cbuf.Bytes(), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := catalogCmd(&buf, []string{spill}, true); err == nil {
+		t.Errorf("catalog -verify accepted a cursor ahead of the catalog:\n%s", buf.String())
+	}
+
+	// recoverDir on a directory that was never a run.
+	if err := recoverDir(&buf, filepath.Join(dir, "mirror")); err != nil {
+		t.Errorf("recover -dir on a shipped mirror: %v", err)
 	}
 }

@@ -117,6 +117,46 @@
 // after one failed barrier, Err and the catalog carry the cause, and a
 // successful explicit Seal or Compact re-arms it.
 //
+// # Durability and recovery
+//
+// A spill directory is not just overflow space — it is a durable run. Open
+// and Close bracket one:
+//
+//	tracker, err := mixedclock.Open(dir,
+//		mixedclock.WithStore(mixedclock.Store{
+//			Spill:  mixedclock.SpillPolicy{SealEvents: 100_000},
+//			Retain: mixedclock.RetainPolicy{MaxBytes: 1 << 30},
+//		}))
+//	defer tracker.Close()
+//
+// An absent or empty directory starts a fresh run; an existing one —
+// whether the previous run ended in Close or in a crash — is recovered:
+// every listed segment is verified by size and SHA-256, the per-thread and
+// per-object clocks, component cover and epoch bookkeeping are rebuilt from
+// the catalog's resume manifest plus a replay of the current epoch, and
+// committing resumes at the next trace index. Tracker.Recovery reports what
+// was reconstructed; Threads and Objects reattach to the registered handles.
+//
+// The crash-consistency contract: what survives is exactly the last
+// published catalog generation and the immutable segments it lists; what is
+// lost is the unsealed suffix. Damage never panics and never fails the Open
+// — a torn catalog.json falls back to the previous generation, a truncated
+// or bit-flipped segment tail and any orphan spill files are quarantined
+// (renamed aside, never deleted), and the loss is reported through Recovery
+// and Err. Close seals the tail, publishes a final generation marked
+// closed, and fsyncs the directory; `mvc recover -dir` performs the same
+// reopen from the command line and prints the report.
+//
+// Store gathers every storage policy — spilling, tiered compaction,
+// retention — into one validated struct (WithSpill, WithCompaction and
+// WithRetention remain as sugar over its fields). A RetainPolicy retires
+// graduated segments, i.e. those of closed epochs, once they age past
+// MaxAge or push the directory over MaxBytes — deleting them or, with
+// Archive set, moving them aside — and replay then starts at the retention
+// floor the catalog records. A Shipper incrementally mirrors the published
+// history to another directory with a durable cursor (ConsumeUpTo), and the
+// mirror is itself a valid run directory: Open replays it byte-identically.
+//
 // # Choosing a backend
 //
 // The mixed clock minimizes how many components a timestamp carries; the

@@ -1,0 +1,72 @@
+package tlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Shipper cursor: the durable bookmark of an external log shipper. A shipper
+// tails the catalog (ConsumeUpTo in package track, or any tool speaking the
+// same JSON), copies and verifies the listed segment files, and persists a
+// cursor file beside the catalog recording how far it got — so a restarted
+// shipper resumes instead of recopying, and an auditor (mvc catalog -verify)
+// can check the retention invariant "nothing is retired before it ships".
+
+// ShipCursorFormatVersion is the cursor document version this package writes
+// and accepts.
+const ShipCursorFormatVersion = 1
+
+// ShipCursorFileName is the cursor's file name inside a spill directory.
+const ShipCursorFileName = "shipper-cursor.json"
+
+// ShipCursor records how much of a spill directory's sealed history a
+// shipper has copied out.
+type ShipCursor struct {
+	// FormatVersion is ShipCursorFormatVersion.
+	FormatVersion int `json:"format_version"`
+	// Generation is the catalog generation the shipper last consumed.
+	Generation int64 `json:"generation"`
+	// ShippedEvents is the trace index shipping has reached: every sealed
+	// event below it has been copied to the destination and verified.
+	ShippedEvents int `json:"shipped_events"`
+}
+
+// Validate checks the cursor's internal consistency.
+func (c *ShipCursor) Validate() error {
+	if c.FormatVersion != ShipCursorFormatVersion {
+		return fmt.Errorf("tlog: ship cursor format version %d (want %d)", c.FormatVersion, ShipCursorFormatVersion)
+	}
+	if c.Generation < 0 || c.ShippedEvents < 0 {
+		return fmt.Errorf("tlog: negative ship cursor counters (generation %d, shipped %d)",
+			c.Generation, c.ShippedEvents)
+	}
+	return nil
+}
+
+// EncodeShipCursor writes the cursor as indented JSON, validating first.
+func EncodeShipCursor(w io.Writer, c *ShipCursor) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("tlog: encoding ship cursor: %w", err)
+	}
+	return nil
+}
+
+// DecodeShipCursor reads and validates one cursor document.
+func DecodeShipCursor(r io.Reader) (*ShipCursor, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c ShipCursor
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("tlog: decoding ship cursor: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -50,6 +50,9 @@ func (s Stamped) Order(t Stamped) vclock.Ordering {
 // publishes the catalog, runs the segment-compaction policy, and re-arms
 // auto-sealing after a spill failure.
 func (t *Tracker) Compact() (epoch, size int, err error) {
+	if t.closed.Load() {
+		return 0, 0, fmt.Errorf("track: Compact on a closed Tracker")
+	}
 	epoch, size, err = t.compactEpoch()
 	if err == nil {
 		t.afterSeal()
@@ -101,6 +104,10 @@ func (t *Tracker) compactEpoch() (epoch, size int, err error) {
 	t.reg.Unlock()
 	t.epoch++
 	t.epochStart = append(t.epochStart, t.mergedLenLocked())
+	// The epoch and component set changed; refresh the resume manifest the
+	// published catalog carries (sealLocked already captured one, but that
+	// was for the closing epoch).
+	t.captureResumeLocked()
 	return t.epoch, seeded.Size(), nil
 }
 

@@ -1,0 +1,129 @@
+package track
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mixedclock/internal/tlog"
+)
+
+// FuzzRecoverCatalog throws arbitrary catalog.json bytes at Open, over a
+// directory that also holds genuinely valid segment files from a real run.
+// The recovery contract under test: Open never panics and never errors on
+// damage — any parseable-but-wrong catalog ends in quarantine and health,
+// and the returned tracker must still be fully usable (commit, snapshot,
+// close, reopen).
+func FuzzRecoverCatalog(f *testing.F) {
+	// Seed with the real thing: a catalog a spilling run actually published
+	// (resume manifest, hashes, epochs and all), plus structural mutations a
+	// crash or a hostile editor could plausibly leave.
+	seedDir := f.TempDir()
+	tr, err := Open(seedDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	th, ob := tr.NewThread("t0"), tr.NewObject("o0")
+	th2 := tr.NewThread("t1")
+	for i := 0; i < 8; i++ {
+		th.Write(ob, nil)
+		th2.Write(ob, nil)
+	}
+	if err := tr.Seal(); err != nil {
+		f.Fatal(err)
+	}
+	if _, _, err := tr.Compact(); err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		th.Write(ob, nil)
+	}
+	if err := tr.Close(); err != nil {
+		f.Fatal(err)
+	}
+	realCatalog, err := os.ReadFile(filepath.Join(seedDir, tlog.CatalogFileName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The segment files every fuzz directory is furnished with.
+	var segFiles []string
+	var segData [][]byte
+	ms, _ := filepath.Glob(filepath.Join(seedDir, "*.mvcseg"))
+	for _, m := range ms {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		segFiles = append(segFiles, filepath.Base(m))
+		segData = append(segData, data)
+	}
+	f.Add(realCatalog)
+	f.Add(bytes.Replace(realCatalog, []byte(`"epoch"`), []byte(`"epxch"`), 1))
+	f.Add(realCatalog[:len(realCatalog)/2])
+	f.Add(bytes.Replace(realCatalog, []byte(`"sha256"`), []byte(`"sha255"`), -1))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format_version":1,"generation":1,"sealed_events":0,"segments":[]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, catalog []byte) {
+		dir := t.TempDir()
+		for i, name := range segFiles {
+			if err := os.WriteFile(filepath.Join(dir, name), segData[i], 0o666); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, tlog.CatalogFileName), catalog, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(dir)
+		if err != nil {
+			// Open fails only on construction-impossible states, never on
+			// damage; with valid options there should be none.
+			t.Fatalf("Open errored on fuzzed catalog: %v", err)
+		}
+		if re.Recovery() == nil {
+			t.Fatal("no RecoveryInfo from Open")
+		}
+		// Whatever was recovered must be a working tracker.
+		base := re.Events()
+		threads, objects := re.Threads(), re.Objects()
+		var thr *Thread
+		var obj *Object
+		if len(threads) > 0 {
+			thr = threads[0]
+		} else {
+			thr = re.NewThread("fuzz-t")
+		}
+		if len(objects) > 0 {
+			obj = objects[0]
+		} else {
+			obj = re.NewObject("fuzz-o")
+		}
+		s := thr.Write(obj, nil)
+		if s.Event.Index != base {
+			t.Fatalf("resumed commit at index %d, want %d", s.Event.Index, base)
+		}
+		var buf bytes.Buffer
+		if err := re.SnapshotTo(&buf); err != nil {
+			t.Fatalf("SnapshotTo after recovery: %v", err)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("Close after recovery: %v", err)
+		}
+		// And the directory it republished must reopen cleanly.
+		re2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("second Open: %v", err)
+		}
+		if got := re2.Events(); got != base+1 {
+			t.Fatalf("second reopen at %d events, want %d", got, base+1)
+		}
+		if !re2.Recovery().CleanClose {
+			t.Fatal("Close marker lost across reopen")
+		}
+		if err := re2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

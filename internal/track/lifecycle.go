@@ -61,9 +61,12 @@ type CompactPolicy struct {
 // seal (explicit, automatic, or at Compact) whose result exceeds
 // p.MaxSegments segments, a compaction pass rewrites small adjacent
 // segments per the policy. The zero policy (MaxSegments == 0) never runs
-// automatically.
+// automatically. Sugar for WithStore with only the Compact field set.
+//
+// Deprecated: new code should configure storage through WithStore;
+// WithCompaction remains for compatibility.
 func WithCompaction(p CompactPolicy) Option {
-	return func(o *options) { o.compact = p }
+	return func(o *options) { o.store.Compact = p }
 }
 
 // maybeCompactSegments runs the armed compaction policy if the sealed
@@ -98,6 +101,9 @@ func (t *Tracker) maybeCompactSegments() bool {
 // replacement. Replay is byte-for-byte invariant: SnapshotTo emits
 // identical output before and after.
 func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
+	if t.closed.Load() {
+		return 0, fmt.Errorf("track: CompactSegments on a closed Tracker")
+	}
 	if !t.compactGate.CompareAndSwap(false, true) {
 		return 0, nil
 	}
@@ -122,8 +128,8 @@ func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
 		sg, err := t.mergeRun(snap[g[0]:g[1]])
 		if err != nil {
 			for _, m := range merged[:gi] {
-				if m != nil && m.path != "" {
-					os.Remove(m.path)
+				if m != nil && m.file != "" {
+					os.Remove(m.path())
 				}
 			}
 			return 0, fmt.Errorf("track: compacting segments: %w", err)
@@ -151,8 +157,8 @@ func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
 	t.publishCatalog()
 	for _, g := range plan {
 		for _, sg := range snap[g[0]:g[1]] {
-			if sg.path != "" {
-				os.Remove(sg.path)
+			if sg.file != "" {
+				os.Remove(sg.path())
 			}
 			eliminated++
 		}
@@ -180,28 +186,21 @@ func (t *Tracker) mergeRun(run []*segment) (*segment, error) {
 	data := buf.Bytes()
 	sum := sha256.Sum256(data)
 	out := &segment{meta: meta, size: int64(len(data)), sha: hex.EncodeToString(sum[:])}
+	// The merged segment inherits the newest source's seal time: retention's
+	// MaxAge is about how stale the newest contained event may be.
+	for _, sg := range run {
+		if sg.sealedAt.After(out.sealedAt) {
+			out.sealedAt = sg.sealedAt
+		}
+	}
 	if t.spill.Dir == "" {
 		out.data = data
 		return out, nil
 	}
-	// Write-then-rename so a crash mid-compaction never leaves a spill file
-	// that parses as a truncated segment.
-	tmp, err := os.CreateTemp(t.spill.Dir, ".seg-*.tmp")
-	if err != nil {
-		return nil, err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return nil, err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return nil, err
-	}
-	out.path = filepath.Join(t.spill.Dir, tlog.SegmentFileName(meta))
-	if err := os.Rename(tmp.Name(), out.path); err != nil {
-		os.Remove(tmp.Name())
+	// Write-then-rename (with an fsync) so a crash mid-compaction never
+	// leaves a spill file that parses as a truncated segment.
+	out.dir, out.file = t.spill.Dir, tlog.SegmentFileName(meta)
+	if err := writeFileSync(out.dir, out.file, data); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -219,21 +218,22 @@ func (t *Tracker) Catalog() tlog.Catalog {
 	t.world.RLock(0)
 	gen := t.catGen.Load()
 	sealedEnd := t.tailStart
+	retained := t.retained
+	resume := t.resume
 	segs := make([]tlog.CatalogSegment, len(t.segs))
 	for i, sg := range t.segs {
-		path := sg.path
-		if path != "" && t.spill.Dir != "" {
-			if rel, err := filepath.Rel(t.spill.Dir, path); err == nil {
-				path = rel
-			}
+		var sealedUnix int64
+		if !sg.sealedAt.IsZero() {
+			sealedUnix = sg.sealedAt.Unix()
 		}
 		segs[i] = tlog.CatalogSegment{
 			Epoch:      sg.meta.Epoch,
 			FirstIndex: sg.meta.FirstIndex,
 			Events:     sg.meta.Count,
 			Bytes:      sg.size,
-			Path:       path,
+			Path:       sg.file,
 			SHA256:     sg.sha,
+			SealedUnix: sealedUnix,
 		}
 	}
 	t.world.RUnlock(0)
@@ -241,8 +241,11 @@ func (t *Tracker) Catalog() tlog.Catalog {
 		FormatVersion:    tlog.CatalogFormatVersion,
 		Generation:       gen,
 		SealedEvents:     sealedEnd,
+		RetainedEvents:   retained,
 		AutoSealDisarmed: t.sealBroken.Load(),
+		Closed:           t.closed.Load(),
 		Segments:         segs,
+		Resume:           resume,
 	}
 	if err := t.Err(); err != nil {
 		c.Health = err.Error()
@@ -281,9 +284,23 @@ func writeCatalogFile(dir string, c *tlog.Catalog) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, CatalogFileName))
+	// Keep the outgoing generation as catalog.json.prev before the rename
+	// replaces it: the rename is atomic against our own crashes, but a
+	// power cut can still tear it at the filesystem level, and recovery
+	// then falls back to the prev copy. Best effort — a missing or stale
+	// prev only degrades the fallback, never the catalog itself.
+	cur := filepath.Join(dir, CatalogFileName)
+	if data, rerr := os.ReadFile(cur); rerr == nil {
+		_ = os.WriteFile(filepath.Join(dir, tlog.CatalogPrevFileName), data, 0o666)
+	}
+	return os.Rename(tmp.Name(), cur)
 }

@@ -1,0 +1,490 @@
+// Crash recovery: rebuilding a live Tracker from a spill directory.
+//
+// The durable state of a run is the last published catalog generation plus
+// the immutable segment files it lists; everything else — live per-thread
+// buffers, the merged tail, seals whose catalog publication never landed —
+// is the unsealed suffix a crash loses. recoverDir turns that contract into
+// a Tracker: it loads the catalog (falling back to catalog.json.prev when
+// the current one is torn), verifies every listed segment byte for byte,
+// quarantines — never deletes, never panics on — whatever disagrees, and
+// reconstructs the in-memory state the next commit needs.
+//
+// Two recovery modes, chosen by how much survived:
+//
+//   - Resume (mode A): the catalog carries a resume manifest and every
+//     listed segment verified. The run continues in the same epoch: the
+//     component cover is re-seeded from the manifest, threads and objects
+//     re-register under their recorded names, and their clocks are rebuilt
+//     by replaying the current epoch's segments — a record's stamp IS the
+//     thread's clock (and the object's clock) immediately after that event,
+//     so the last stamp seen per thread and per object is exactly the state
+//     a crashed tracker held for its sealed prefix.
+//   - New epoch (mode B): a listed segment was damaged (the verified prefix
+//     is kept, the rest quarantined) or the manifest is missing or
+//     unusable. Replaying clocks across the cut would invent causality, so
+//     recovery instead starts the next epoch at the resumed index: epoch
+//     boundaries already mean "all clocks restart from zero" (Compact's
+//     barrier semantics), which makes zeroed clocks sound — cross-epoch
+//     comparisons coarsen to epoch order exactly as after a Compact.
+//
+// Orphan spill files (a seal that crashed before its catalog publication)
+// are quarantined without forcing mode B: the listed history is intact, the
+// orphan was never part of it.
+package track
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mixedclock/internal/bipartite"
+	"mixedclock/internal/core"
+	"mixedclock/internal/event"
+	"mixedclock/internal/tlog"
+	"mixedclock/internal/vclock"
+)
+
+// RecoveryInfo reports what Open reconstructed from its directory.
+type RecoveryInfo struct {
+	// Events is the resumed sealed event count: the next commit gets trace
+	// index Events.
+	Events int
+	// Epoch is the epoch committing resumes in. It equals the crashed run's
+	// epoch when the resume manifest and every listed segment survived, and
+	// the next epoch otherwise (damage starts a fresh epoch, exactly like a
+	// Compact).
+	Epoch int
+	// RetainedFloor is the restored retention floor (Catalog.RetainedEvents).
+	RetainedFloor int
+	// Segments is how many listed segments verified and were adopted.
+	Segments int
+	// Generation is the catalog generation published by the reopen itself.
+	Generation int64
+	// CleanClose reports that the previous run ended in Close rather than a
+	// crash.
+	CleanClose bool
+	// UsedPrevCatalog reports that catalog.json was torn and recovery fell
+	// back to the catalog.json.prev copy.
+	UsedPrevCatalog bool
+	// Quarantined lists the files set aside (renamed with
+	// tlog.QuarantineSuffix): damaged listed segments and everything sealed
+	// after them, orphan spill files, a torn catalog.
+	Quarantined []string
+}
+
+// recoverDir rebuilds t's state from its spill directory. It is called once,
+// from Open, before the tracker is shared — no locks are contended. Damage
+// is downgraded to quarantine + health, never an error; the only errors are
+// ones that leave recovery unable to construct any consistent state at all.
+func (t *Tracker) recoverDir(o options) error {
+	dir := t.spill.Dir
+	info := &RecoveryInfo{}
+	t.recovery = info
+
+	// A crash mid-write leaves at most stray temp files; sweep them first so
+	// they never accumulate.
+	for _, pat := range []string{".seg-*.tmp", ".catalog-*.tmp"} {
+		if ms, err := filepath.Glob(filepath.Join(dir, pat)); err == nil {
+			for _, m := range ms {
+				os.Remove(m)
+			}
+		}
+	}
+
+	cat, usedPrev, quarantined := loadCatalogForRecovery(dir)
+	info.UsedPrevCatalog = usedPrev
+	if cat == nil {
+		// No usable catalog. Any segment file present is history we cannot
+		// anchor (no index ranges, no hashes, no epoch bookkeeping): set it
+		// aside rather than guess, and start fresh.
+		if ms, err := filepath.Glob(filepath.Join(dir, "*.mvcseg")); err == nil {
+			for _, m := range ms {
+				if q := quarantineFile(m); q != "" {
+					quarantined = append(quarantined, q)
+				}
+			}
+		}
+		info.Quarantined = quarantined
+		if len(quarantined) == 0 {
+			return nil // genuinely fresh directory; created on first seal
+		}
+		t.noteErr(fmt.Errorf("track: recovering %s: no usable catalog; quarantined %s",
+			dir, strings.Join(quarantined, ", ")))
+		t.catGen.Add(1)
+		t.publishCatalog()
+		return nil
+	}
+
+	resume := cat.Resume
+	resumeEpoch := -1
+	if resume != nil {
+		resumeEpoch = resume.Epoch
+	}
+
+	// Verify the listed segments in order, collecting along the way what the
+	// rebuild needs: every revealed (thread, object) edge, the largest IDs
+	// seen, and — for segments of the resume epoch — the last stamp per
+	// thread and per object, which ARE their clocks as of the sealed prefix.
+	threadLast := map[int]vclock.Vector{}
+	objectLast := map[int]vclock.Vector{}
+	maxThread, maxObject := -1, -1
+	edgeSeen := map[[2]int]bool{}
+	var edges [][2]int
+
+	goodN := len(cat.Segments)
+	damaged := false
+	for i := range cat.Segments {
+		entry := cat.Segments[i]
+		err := verifySegment(dir, entry, func(e event.Event, v vclock.Vector) {
+			ti, oi := int(e.Thread), int(e.Object)
+			if ti > maxThread {
+				maxThread = ti
+			}
+			if oi > maxObject {
+				maxObject = oi
+			}
+			k := [2]int{ti, oi}
+			if !edgeSeen[k] {
+				edgeSeen[k] = true
+				edges = append(edges, k)
+			}
+			if entry.Epoch == resumeEpoch {
+				threadLast[ti] = v.Clone()
+				objectLast[oi] = v.Clone()
+			}
+		})
+		if err != nil {
+			t.noteErr(fmt.Errorf("track: recovering %s: segment %s: %w", dir, entry.Path, err))
+			goodN, damaged = i, true
+			break
+		}
+	}
+	if damaged {
+		// The verified prefix is kept; the damaged segment and everything
+		// sealed after it (gapless history cannot skip it) are set aside.
+		for _, entry := range cat.Segments[goodN:] {
+			if entry.Path == "" {
+				continue
+			}
+			if q := quarantineFile(filepath.Join(dir, entry.Path)); q != "" {
+				quarantined = append(quarantined, q)
+			}
+		}
+	}
+
+	// Orphan spill files — a seal that crashed between its rename and its
+	// catalog publication — are part of the lost unsealed suffix: quarantine
+	// them, without giving up the (intact) listed history.
+	listed := make(map[string]bool, goodN)
+	for _, entry := range cat.Segments[:goodN] {
+		listed[entry.Path] = true
+	}
+	if ms, err := filepath.Glob(filepath.Join(dir, "*.mvcseg")); err == nil {
+		for _, m := range ms {
+			if listed[filepath.Base(m)] {
+				continue
+			}
+			if q := quarantineFile(m); q != "" {
+				quarantined = append(quarantined, q)
+			}
+		}
+	}
+
+	// P is the resumed sealed extent: the next commit's trace index.
+	P := cat.RetainedEvents
+	if goodN > 0 {
+		last := cat.Segments[goodN-1]
+		P = last.FirstIndex + last.Events
+	}
+
+	// Mode A needs the manifest, an undamaged listing, and replayed IDs that
+	// fit the manifest's name tables (they always do for catalogs this
+	// package wrote — the manifest is captured at every seal).
+	resumeUsable := resume != nil && !damaged
+	if resumeUsable && (maxThread >= len(resume.Threads) || maxObject >= len(resume.Objects)) {
+		resumeUsable = false
+	}
+
+	// Registration tables: the manifest's names, extended (mode B without a
+	// manifest) to cover whatever IDs the replay revealed.
+	var threadNames, objectNames []string
+	if resume != nil {
+		threadNames = append(threadNames, resume.Threads...)
+		objectNames = append(objectNames, resume.Objects...)
+	}
+	for len(threadNames) <= maxThread {
+		threadNames = append(threadNames, fmt.Sprintf("thread-%d", len(threadNames)))
+	}
+	for len(objectNames) <= maxObject {
+		objectNames = append(objectNames, fmt.Sprintf("object-%d", len(objectNames)))
+	}
+
+	// The revealed graph is cumulative across epochs: manifest edges plus
+	// whatever the replay saw (a subset of the manifest when it is current).
+	g := bipartite.New(len(threadNames), len(objectNames))
+	if resume != nil {
+		for _, e := range resume.Edges {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+
+	// Cover: re-seed from the manifest's ordered component set (its positions
+	// are the vector indices every replayed stamp was written against); fall
+	// back to a fresh offline analysis — which forces mode B, since old
+	// stamps are meaningless over a reordered component set.
+	var seeded *core.CoverTracker
+	if resumeUsable {
+		comps := core.NewComponentSet()
+		for _, rc := range resume.Components {
+			side := bipartite.Objects
+			if rc.Kind == tlog.ResumeThread {
+				side = bipartite.Threads
+			}
+			comps.Add(core.Component{Side: side, ID: rc.ID})
+		}
+		ct, err := core.NewSeededCoverTracker(o.mech, g, comps)
+		if err != nil {
+			t.noteErr(fmt.Errorf("track: recovering %s: resume components unusable: %w", dir, err))
+			resumeUsable = false
+		} else {
+			seeded = ct
+		}
+	}
+	if seeded == nil {
+		analysis := core.Analyze(g)
+		ct, err := core.NewSeededCoverTracker(o.mech, analysis.Graph, analysis.Components)
+		if err != nil {
+			return fmt.Errorf("track: recovering %s: seeding cover: %w", dir, err)
+		}
+		seeded = ct
+	}
+	t.cover.Store(core.NewSharedCover(seeded))
+
+	// The requested backend survives the restart unless the caller overrode
+	// it; auto stays a policy, re-resolved against the recovered width.
+	backendReq := o.backend
+	if !o.backendSet && resume != nil && resume.Backend != "" {
+		if b, err := vclock.ParseBackend(resume.Backend); err == nil {
+			backendReq = b
+		}
+	}
+	t.requested = backendReq
+	t.backend = core.ResolveBackend(backendReq, seeded.Size(), core.MaxFanIn(g))
+
+	// Epoch bookkeeping.
+	var epoch int
+	var epochStarts []int
+	switch {
+	case resumeUsable:
+		epoch = resume.Epoch
+		epochStarts = append([]int(nil), resume.EpochStarts...)
+	case resume != nil:
+		// Damage cut the manifest's epoch short: start the next one at the
+		// cut. Starts past the cut clamp to it (their epochs lost all their
+		// sealed events).
+		epoch = resume.Epoch + 1
+		for _, s := range resume.EpochStarts {
+			if s > P {
+				s = P
+			}
+			epochStarts = append(epochStarts, s)
+		}
+		epochStarts = append(epochStarts, P)
+	case goodN > 0:
+		// No manifest at all: derive epoch boundaries from the segments
+		// themselves (each declares its epoch) and start the epoch after the
+		// newest one. Epochs wholly below the retention floor keep only an
+		// approximate start — their events are retired anyway.
+		maxE := cat.Segments[goodN-1].Epoch
+		epoch = maxE + 1
+		si := 0
+		for j := 1; j <= maxE; j++ {
+			for si < goodN && cat.Segments[si].Epoch < j {
+				si++
+			}
+			if si < goodN {
+				epochStarts = append(epochStarts, cat.Segments[si].FirstIndex)
+			} else {
+				epochStarts = append(epochStarts, P)
+			}
+		}
+		epochStarts = append(epochStarts, P)
+	}
+	t.epoch = epoch
+	t.epochStart = epochStarts
+
+	// Re-register threads and objects under their recorded names (dense IDs
+	// are positions, so registration order restores them) and, in mode A,
+	// restore their clocks from the replayed stamps. A thread or object with
+	// no event in the resumed epoch's sealed prefix stays nil — exactly the
+	// state Compact's reset leaves.
+	for _, name := range threadNames {
+		th := t.NewThread(name)
+		if v, ok := threadLast[int(th.id)]; ok && resumeUsable {
+			th.base = v
+			th.clock = clockFromVector(t.backend, v)
+		}
+	}
+	for _, name := range objectNames {
+		ob := t.NewObject(name)
+		if v, ok := objectLast[int(ob.id)]; ok && resumeUsable {
+			ob.clock = clockFromVector(t.backend, v)
+		}
+	}
+
+	// Adopt the verified segments and the counters.
+	segs := make([]*segment, 0, goodN)
+	for _, entry := range cat.Segments[:goodN] {
+		sg := &segment{
+			meta: tlog.SegmentMeta{Epoch: entry.Epoch, FirstIndex: entry.FirstIndex, Count: entry.Events},
+			dir:  dir,
+			file: entry.Path,
+			size: entry.Bytes,
+			sha:  entry.SHA256,
+		}
+		if entry.SealedUnix > 0 {
+			sg.sealedAt = time.Unix(entry.SealedUnix, 0)
+		}
+		segs = append(segs, sg)
+	}
+	t.segs = segs
+	t.tailStart = P
+	t.seq.Store(int64(P))
+	t.sealed.Store(int64(P))
+	retained := cat.RetainedEvents
+	if retained > P {
+		retained = P
+	}
+	t.retained = retained
+
+	info.Events = P
+	info.Epoch = epoch
+	info.RetainedFloor = retained
+	info.Segments = goodN
+	info.CleanClose = cat.Closed
+	info.Quarantined = quarantined
+	if len(quarantined) > 0 {
+		t.noteErr(fmt.Errorf("track: recovering %s: quarantined %s", dir, strings.Join(quarantined, ", ")))
+	}
+
+	// Announce the reopened run: a fresh manifest, a new generation, no
+	// Closed marker. The tracker is not shared yet, so the write-lock
+	// precondition of the capture holds trivially.
+	t.catGen.Store(cat.Generation)
+	t.captureResumeLocked()
+	t.catGen.Add(1)
+	t.publishCatalog()
+	info.Generation = t.catGen.Load()
+	_ = syncDir(dir)
+	return nil
+}
+
+// loadCatalogForRecovery reads dir's catalog, quarantining a torn
+// catalog.json and falling back to the catalog.json.prev copy. A nil catalog
+// means no usable one exists (fresh directory, or both copies torn).
+func loadCatalogForRecovery(dir string) (c *tlog.Catalog, usedPrev bool, quarantined []string) {
+	tryRead := func(name string) (*tlog.Catalog, bool) {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, false
+		}
+		defer f.Close()
+		c, err := tlog.DecodeCatalog(f)
+		if err != nil {
+			return nil, true
+		}
+		return c, true
+	}
+	c, exists := tryRead(tlog.CatalogFileName)
+	if c != nil {
+		return c, false, nil
+	}
+	if exists {
+		if q := quarantineFile(filepath.Join(dir, tlog.CatalogFileName)); q != "" {
+			quarantined = append(quarantined, q)
+		}
+	}
+	if c, _ := tryRead(tlog.CatalogPrevFileName); c != nil {
+		return c, true, quarantined
+	}
+	return nil, false, quarantined
+}
+
+// quarantineFile renames path aside with tlog.QuarantineSuffix, returning
+// the resulting base name ("" when the rename failed — the file then stays
+// where it is, still ignored by glob-based readers only if a later pass
+// succeeds, so callers report the failure through health).
+func quarantineFile(path string) string {
+	q := path + tlog.QuarantineSuffix
+	if err := os.Rename(path, q); err != nil {
+		return ""
+	}
+	return filepath.Base(q)
+}
+
+// verifySegment checks one listed segment byte for byte — file size against
+// the catalog, content hash, header against the catalog entry, and a full
+// decode — calling visit for every record. Any disagreement is an error; the
+// caller quarantines.
+func verifySegment(dir string, entry tlog.CatalogSegment, visit func(event.Event, vclock.Vector)) error {
+	if entry.Path == "" {
+		return fmt.Errorf("no spill file recorded")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entry.Path))
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) != entry.Bytes {
+		return fmt.Errorf("file holds %d bytes, catalog says %d", len(data), entry.Bytes)
+	}
+	if entry.SHA256 != "" {
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != entry.SHA256 {
+			return fmt.Errorf("content hash mismatch")
+		}
+	}
+	sr, err := tlog.NewSegmentReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	m := sr.Meta()
+	if m.Epoch != entry.Epoch || m.FirstIndex != entry.FirstIndex || m.Count != entry.Events {
+		return fmt.Errorf("header says %v, catalog says epoch %d events [%d,%d)",
+			m, entry.Epoch, entry.FirstIndex, entry.FirstIndex+entry.Events)
+	}
+	for {
+		e, v, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		visit(e, v)
+	}
+}
+
+// clockFromVector rebuilds a backend clock equal to v. Deltas are absolute
+// assignments and v is monotone from the zero clock, so one Apply restores
+// any backend's invariants; the Grow pads trailing zeros back to v's width.
+func clockFromVector(b vclock.Backend, v vclock.Vector) vclock.Clock {
+	c := core.NewBackendClock(b)
+	ds := make([]vclock.Delta, 0, len(v))
+	for i, x := range v {
+		if x != 0 {
+			ds = append(ds, vclock.Delta{Index: int32(i), Value: x})
+		}
+	}
+	c.Apply(ds)
+	c.Grow(len(v))
+	return c
+}

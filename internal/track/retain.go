@@ -1,0 +1,169 @@
+// Segment retention: the index-based pruning half of the durability story.
+// Sealed segments accumulate forever without it; RetainSegments retires the
+// oldest ones — deleting or archiving their files — once they age out or
+// push the directory over a size budget, with the same generation-bumped
+// publish-before-delete discipline compaction uses.
+//
+// Only *graduated* segments are eligible: segments whose epoch is closed
+// (epoch < the tracker's current epoch). Recovery replays exactly the
+// current epoch's segments to rebuild the live clocks, so a graduated
+// segment is provably never load-bearing for a reopen — retirement can
+// never strand a run. Retirement is also strictly a prefix: sealed history
+// stays gapless above the published retention floor (Catalog.
+// RetainedEvents), and everything that replays history — Stream, Snapshot,
+// SnapshotTo, lazy stamps — starts at the floor.
+package track
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// RetainPolicy bounds how much sealed history a tracker keeps. The zero
+// policy retains everything.
+type RetainPolicy struct {
+	// MaxAge, when positive, retires a graduated segment once its seal
+	// time (the newest contained event's seal, surviving reopen via the
+	// catalog) is older than this.
+	MaxAge time.Duration
+	// MaxBytes, when positive, is the sealed-history size budget: while
+	// the total exceeds it, graduated segments are retired oldest first.
+	// The current epoch's segments never count as retirable, so the
+	// budget can be exceeded until a Compact closes the epoch.
+	MaxBytes int64
+	// Archive, when non-empty, moves retired spill files into this
+	// directory instead of deleting them (created on first use). In-memory
+	// segments are always simply dropped.
+	Archive string
+}
+
+// enabled reports whether the policy can ever retire anything.
+func (p RetainPolicy) enabled() bool { return p.MaxAge > 0 || p.MaxBytes > 0 }
+
+// WithRetention arms automatic retention: after every successful seal (and
+// the compaction pass, if any), segments the policy marks as expired are
+// retired. Sugar for WithStore with only the Retain field set.
+func WithRetention(p RetainPolicy) Option {
+	return func(o *options) { o.store.Retain = p }
+}
+
+// maybeRetainSegments runs the armed retention policy, reporting whether a
+// pass retired anything (and thus already published the catalog).
+func (t *Tracker) maybeRetainSegments() bool {
+	p := t.retain
+	if !p.enabled() {
+		return false
+	}
+	n, err := t.RetainSegments(p)
+	if err != nil {
+		t.noteErr(fmt.Errorf("track: auto retention: %w", err))
+		return false
+	}
+	return n > 0
+}
+
+// RetainSegments runs one retention pass under the given policy and reports
+// how many segments it retired (zero when nothing qualified, or when a
+// compaction or retention pass already holds the gate). Only graduated
+// segments — closed epochs, never the current one — are eligible, and only
+// as a gapless prefix of sealed history: replay above the new floor, and
+// any future reopen, are unaffected. The swapped-out files are deleted (or
+// moved to p.Archive) only after the catalog generation that stops listing
+// them is published, mirroring compaction's ordering.
+func (t *Tracker) RetainSegments(p RetainPolicy) (retired int, err error) {
+	if t.closed.Load() {
+		return 0, fmt.Errorf("track: RetainSegments on a closed Tracker")
+	}
+	if !p.enabled() {
+		return 0, nil
+	}
+	// Retention shares the compaction gate: both rewrite the sealed-segment
+	// prefix, and the gate is what guarantees the snapshot below can only
+	// have grown — never been reshuffled — by swap time.
+	if !t.compactGate.CompareAndSwap(false, true) {
+		return 0, nil
+	}
+	defer t.compactGate.Store(false)
+
+	t.world.RLock(0)
+	snap := t.segs[:len(t.segs):len(t.segs)]
+	epoch := t.epoch
+	t.world.RUnlock(0)
+
+	var total int64
+	for _, sg := range snap {
+		total += sg.size
+	}
+	now := time.Now()
+	k := 0
+	for k < len(snap) && snap[k].meta.Epoch < epoch {
+		aged := p.MaxAge > 0 && !snap[k].sealedAt.IsZero() && now.Sub(snap[k].sealedAt) > p.MaxAge
+		over := p.MaxBytes > 0 && total > p.MaxBytes
+		if !aged && !over {
+			break
+		}
+		total -= snap[k].size
+		k++
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	dropped := snap[:k]
+
+	t.world.Lock()
+	t.segs = append([]*segment(nil), t.segs[k:]...)
+	t.retained = dropped[k-1].meta.FirstIndex + dropped[k-1].meta.Count
+	t.catGen.Add(1)
+	t.world.Unlock()
+
+	// Publish the generation that stops listing the retired files, then
+	// retire them.
+	t.publishCatalog()
+	for _, sg := range dropped {
+		if sg.file == "" {
+			continue
+		}
+		if p.Archive != "" {
+			if aerr := archiveFile(sg.path(), p.Archive, sg.file); aerr != nil && err == nil {
+				err = fmt.Errorf("track: archiving %s: %w", sg.file, aerr)
+			}
+		} else if rerr := os.Remove(sg.path()); rerr != nil && err == nil {
+			err = fmt.Errorf("track: retiring %s: %w", sg.file, rerr)
+		}
+	}
+	return k, err
+}
+
+// archiveFile moves src into dir/name, falling back to copy-then-remove
+// when the rename crosses filesystems.
+func archiveFile(src, dir, name string) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	dst := filepath.Join(dir, name)
+	if err := os.Rename(src, dst); err == nil {
+		return nil
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(dst)
+		return err
+	}
+	return os.Remove(src)
+}

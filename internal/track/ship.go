@@ -1,0 +1,173 @@
+// Shipper cursor: the consumer half of the catalog protocol.
+//
+// A tracker publishes catalog.json after every seal, compaction and
+// retention pass; an external shipper's job is to mirror the listed segment
+// files somewhere durable before retention retires them. Shipper does the
+// mechanical part — tail the catalog, copy and verify the new segments,
+// persist a cursor recording how far shipping got — so a crash on either
+// side resumes from the cursor instead of re-copying history.
+package track
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mixedclock/internal/tlog"
+)
+
+// ErrCatalogBehind reports that the source catalog has not yet reached the
+// generation ConsumeUpTo was asked to consume — the shipper should poll
+// again later.
+var ErrCatalogBehind = errors.New("track: catalog generation behind")
+
+// Shipper copies a tracker's sealed segments out of its spill directory
+// (Src) into a destination directory (Dst), incrementally, driven by the
+// published catalog. The zero value is not usable; set both directories.
+// Methods are not safe for concurrent use on one Shipper, but any number of
+// Shippers (and the tracker itself) may work the same Src concurrently —
+// the catalog protocol is read-only on Src except for the cursor file.
+type Shipper struct {
+	// Src is the tracker's spill directory: catalog.json plus segment
+	// files, and where the shipper's cursor file is kept.
+	Src string
+	// Dst is the mirror directory, created on first use. After a ship it
+	// holds the copied segments plus the catalog document that listed them,
+	// so Dst is itself a valid directory for track.Open or offline tools.
+	Dst string
+}
+
+// ShipReport describes one ConsumeUpTo pass.
+type ShipReport struct {
+	// Generation is the catalog generation the pass consumed (and the
+	// cursor now records).
+	Generation int64
+	// SealedEvents and ShippedEvents are the source catalog's sealed extent
+	// and how far shipping had gotten before this pass.
+	SealedEvents  int
+	ShippedEvents int
+	// Copied lists the segment files this pass copied (already-mirrored
+	// files are skipped).
+	Copied []string
+}
+
+// ConsumeUpTo ships everything the source catalog lists, provided the
+// catalog has reached at least the given generation (pass 0 to take
+// whatever is current). Each listed segment file missing from Dst — or
+// covering events past the cursor — is copied through a temp file, verified
+// against the catalog's size and SHA-256, and renamed into place; the
+// catalog document itself is mirrored last, so Dst always lists only files
+// it already holds. Finally the cursor file in Src is atomically updated to
+// the consumed generation. Returns ErrCatalogBehind (wrapped) when the
+// catalog is still older than requested.
+func (s *Shipper) ConsumeUpTo(generation int64) (*ShipReport, error) {
+	if s.Src == "" || s.Dst == "" {
+		return nil, fmt.Errorf("track: shipper needs both Src and Dst")
+	}
+	f, err := os.Open(filepath.Join(s.Src, tlog.CatalogFileName))
+	if err != nil {
+		return nil, fmt.Errorf("track: shipping: %w", err)
+	}
+	c, err := tlog.DecodeCatalog(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("track: shipping: %w", err)
+	}
+	if c.Generation < generation {
+		return nil, fmt.Errorf("track: shipping: catalog at generation %d, want %d: %w",
+			c.Generation, generation, ErrCatalogBehind)
+	}
+	cursor, err := s.readCursor()
+	if err != nil {
+		return nil, err
+	}
+	if cursor.Generation > c.Generation {
+		return nil, fmt.Errorf("track: shipping: cursor at generation %d is ahead of catalog generation %d",
+			cursor.Generation, c.Generation)
+	}
+	if err := os.MkdirAll(s.Dst, 0o777); err != nil {
+		return nil, fmt.Errorf("track: shipping: %w", err)
+	}
+	rep := &ShipReport{
+		Generation:    c.Generation,
+		SealedEvents:  c.SealedEvents,
+		ShippedEvents: cursor.ShippedEvents,
+	}
+	for _, entry := range c.Segments {
+		if entry.Path == "" {
+			return nil, fmt.Errorf("track: shipping: segment %d..%d has no spill file",
+				entry.FirstIndex, entry.FirstIndex+entry.Events)
+		}
+		dst := filepath.Join(s.Dst, entry.Path)
+		// Below the cursor and already mirrored: compaction may have merged
+		// the covering files since, so only the name check is meaningful.
+		if entry.FirstIndex+entry.Events <= cursor.ShippedEvents {
+			if _, err := os.Stat(dst); err == nil {
+				continue
+			}
+		}
+		data, err := os.ReadFile(filepath.Join(s.Src, entry.Path))
+		if err != nil {
+			return nil, fmt.Errorf("track: shipping %s: %w", entry.Path, err)
+		}
+		if int64(len(data)) != entry.Bytes {
+			return nil, fmt.Errorf("track: shipping %s: file holds %d bytes, catalog says %d",
+				entry.Path, len(data), entry.Bytes)
+		}
+		if entry.SHA256 != "" {
+			sum := sha256.Sum256(data)
+			if hex.EncodeToString(sum[:]) != entry.SHA256 {
+				return nil, fmt.Errorf("track: shipping %s: content hash mismatch", entry.Path)
+			}
+		}
+		if err := writeFileSync(s.Dst, entry.Path, data); err != nil {
+			return nil, fmt.Errorf("track: shipping %s: %w", entry.Path, err)
+		}
+		rep.Copied = append(rep.Copied, entry.Path)
+	}
+	// Mirror the catalog document itself (sans the live run's health — the
+	// mirror is a faithful copy of the listing we just shipped), making Dst
+	// self-describing and openable.
+	var doc bytes.Buffer
+	if err := tlog.EncodeCatalog(&doc, c); err != nil {
+		return nil, fmt.Errorf("track: shipping catalog: %w", err)
+	}
+	if err := writeFileSync(s.Dst, tlog.CatalogFileName, doc.Bytes()); err != nil {
+		return nil, fmt.Errorf("track: shipping catalog: %w", err)
+	}
+	cursor = tlog.ShipCursor{
+		FormatVersion: tlog.ShipCursorFormatVersion,
+		Generation:    c.Generation,
+		ShippedEvents: c.SealedEvents,
+	}
+	var enc bytes.Buffer
+	if err := tlog.EncodeShipCursor(&enc, &cursor); err != nil {
+		return nil, fmt.Errorf("track: shipping: %w", err)
+	}
+	if err := writeFileSync(s.Src, tlog.ShipCursorFileName, enc.Bytes()); err != nil {
+		return nil, fmt.Errorf("track: shipping: persisting cursor: %w", err)
+	}
+	return rep, nil
+}
+
+// readCursor loads the shipper's cursor from Src; a missing file is a zero
+// cursor (nothing shipped yet).
+func (s *Shipper) readCursor() (tlog.ShipCursor, error) {
+	f, err := os.Open(filepath.Join(s.Src, tlog.ShipCursorFileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return tlog.ShipCursor{FormatVersion: tlog.ShipCursorFormatVersion}, nil
+		}
+		return tlog.ShipCursor{}, fmt.Errorf("track: shipping: %w", err)
+	}
+	defer f.Close()
+	c, err := tlog.DecodeShipCursor(f)
+	if err != nil {
+		return tlog.ShipCursor{}, fmt.Errorf("track: shipping: cursor: %w", err)
+	}
+	return *c, nil
+}

@@ -60,9 +60,14 @@ type SpillPolicy struct {
 	SealInterval time.Duration
 }
 
-// WithSpill sets the tracker's spill policy.
+// WithSpill sets the tracker's spill policy — sugar for WithStore with only
+// the Spill field set (the other store policies keep their prior values).
+//
+// Deprecated: new code should configure storage through WithStore (and open
+// durable runs with Open, which validates the policies); WithSpill remains
+// for compatibility.
 func WithSpill(p SpillPolicy) Option {
-	return func(o *options) { o.spill = p }
+	return func(o *options) { o.store.Spill = p }
 }
 
 // autoSealDue is the cheap post-commit check: committed and sealedUpTo are
@@ -87,20 +92,37 @@ func (p SpillPolicy) autoSealDue(committed, sealedUpTo, lastSealNano int64) bool
 // segment is one sealed, immutable slice of history: meta plus either the
 // container bytes in memory or the spill file they were written to, the
 // container size, and the container's SHA-256 (hex) for the catalog.
+//
+// A spilled segment is addressed as dir + file, never as one joined path:
+// the catalog stores only the file name, so a spill directory stays valid
+// when moved or mounted elsewhere — Open joins the names against whatever
+// directory it was given.
 type segment struct {
 	meta tlog.SegmentMeta
 	data []byte // in-memory container; nil when spilled
-	path string // spill file; "" when in memory
+	dir  string // spill directory; "" when in memory
+	file string // spill file name within dir; "" when in memory
 	size int64
 	sha  string
+	// sealedAt is when the segment was sealed — RetainPolicy.MaxAge's
+	// clock. Restored from the catalog on reopen; zero when unknown.
+	sealedAt time.Time
+}
+
+// path returns the segment's spill file path, empty for in-memory segments.
+func (sg *segment) path() string {
+	if sg.file == "" {
+		return ""
+	}
+	return filepath.Join(sg.dir, sg.file)
 }
 
 // open returns the segment's container bytes as a stream.
 func (sg *segment) open() (io.ReadCloser, error) {
-	if sg.path == "" {
+	if sg.file == "" {
 		return io.NopCloser(bytes.NewReader(sg.data)), nil
 	}
-	return os.Open(sg.path)
+	return os.Open(sg.path())
 }
 
 // streamFrom replays the segment's records with global index in [from, to)
@@ -212,13 +234,17 @@ func (t *Tracker) sealLocked(upTo int) error {
 		return fmt.Errorf("track: sealing: %w", err)
 	}
 	sum := sha256.Sum256(data)
-	sg := &segment{meta: meta, size: int64(len(data)), sha: hex.EncodeToString(sum[:])}
+	sg := &segment{meta: meta, size: int64(len(data)), sha: hex.EncodeToString(sum[:]), sealedAt: time.Now()}
 	if t.spill.Dir != "" {
 		if err := os.MkdirAll(t.spill.Dir, 0o777); err != nil {
 			return fmt.Errorf("track: spilling: %w", err)
 		}
-		sg.path = filepath.Join(t.spill.Dir, tlog.SegmentFileName(meta))
-		if err := os.WriteFile(sg.path, data, 0o666); err != nil {
+		sg.dir, sg.file = t.spill.Dir, tlog.SegmentFileName(meta)
+		// Write-then-rename with an fsync in between: after the rename
+		// lands, the segment's bytes are durable, and a crash mid-write
+		// leaves at most a stray temp file (ignored and cleaned by Open),
+		// never a torn .mvcseg.
+		if err := writeFileSync(sg.dir, sg.file, data); err != nil {
 			return fmt.Errorf("track: spilling: %w", err)
 		}
 	} else {
@@ -226,6 +252,7 @@ func (t *Tracker) sealLocked(upTo int) error {
 	}
 	t.segs = append(t.segs, sg)
 	t.catGen.Add(1)
+	t.captureResumeLocked()
 	// Drop consumed blocks outright (rather than truncating) so a spilling
 	// tracker's footprint really is bounded by the seal interval; a block
 	// the boundary cuts through is replaced by a copied remainder, never
@@ -265,6 +292,9 @@ func (t *Tracker) sealLocked(upTo int) error {
 // where (and how compactly) the history is held. A successful Seal
 // publishes the catalog and re-arms auto-sealing after a spill failure.
 func (t *Tracker) Seal() error {
+	if t.closed.Load() {
+		return fmt.Errorf("track: Seal on a closed Tracker")
+	}
 	t.world.Lock()
 	t.mergeLocked()
 	err := t.sealLocked(t.mergedLenLocked())
@@ -277,11 +307,16 @@ func (t *Tracker) Seal() error {
 }
 
 // afterSeal is the post-barrier lifecycle work every successful seal path
-// shares: run the auto-compaction pass if the policy asks for one, then
-// publish the catalog shippers poll (unless the compaction pass ran — it
-// publishes itself, as part of its publish-before-delete ordering).
+// shares: run the auto-compaction pass if the policy asks for one, then the
+// auto-retention pass, then publish the catalog shippers poll (unless one
+// of the passes ran — each publishes itself, as part of its
+// publish-before-delete ordering).
 func (t *Tracker) afterSeal() {
-	if !t.maybeCompactSegments() {
+	published := t.maybeCompactSegments()
+	if t.maybeRetainSegments() {
+		published = true
+	}
+	if !published {
 		t.publishCatalog()
 	}
 }
@@ -374,7 +409,7 @@ func (t *Tracker) Segments() []SegmentInfo {
 			FirstIndex: sg.meta.FirstIndex,
 			Events:     sg.meta.Count,
 			Bytes:      sg.size,
-			Path:       sg.path,
+			Path:       sg.path(),
 			SHA256:     sg.sha,
 		}
 	}
@@ -413,12 +448,13 @@ type StampSink interface {
 // events below the freeze point, none after, each with the epoch it was
 // recorded in.
 func (t *Tracker) Stream(sink StampSink) error {
-	// Phase 1: sealed history, no barrier. The catch-up rounds are bounded:
-	// under sustained auto-sealing a streamer on slow storage could
-	// otherwise chase freshly sealed segments forever; whatever remains
-	// after the last round is picked up by the freeze, which guarantees
-	// termination.
-	delivered := 0
+	// Phase 1: sealed history, no barrier, starting at the retention floor
+	// (events below it were retired by a RetainPolicy pass and are no
+	// longer replayable). The catch-up rounds are bounded: under sustained
+	// auto-sealing a streamer on slow storage could otherwise chase freshly
+	// sealed segments forever; whatever remains after the last round is
+	// picked up by the freeze, which guarantees termination.
+	delivered := t.RetainedEvents()
 	for round := 0; round < 4; round++ {
 		n, err := t.replaySealed(sink, delivered, -1)
 		if err != nil {
@@ -492,6 +528,15 @@ func (t *Tracker) replaySealed(sink StampSink, from, to int) (int, error) {
 		for _, sg := range segs {
 			if to >= 0 && sg.meta.FirstIndex >= to {
 				return delivered, nil
+			}
+			if sg.meta.FirstIndex > delivered {
+				// Sealed history is gapless above the retention floor, so a
+				// segment starting past the replay point means a retention
+				// pass retired events [delivered, FirstIndex) after this
+				// stream began. A gapped delivery would be silently wrong;
+				// fail instead (a fresh Stream starts at the new floor).
+				return delivered, fmt.Errorf("track: events [%d,%d) retired by retention mid-stream",
+					delivered, sg.meta.FirstIndex)
 			}
 			n, err := sg.streamFrom(sink, delivered, to)
 			delivered += n

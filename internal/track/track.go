@@ -141,6 +141,33 @@
 // seal. The stream is a consistent snapshot as of its freeze point, and the
 // stall commits observe is the O(unsealed suffix) merge — never the sink's
 // I/O. Sinks may block and may call back into the Tracker.
+//
+// # Durability and recovery
+//
+// A spill directory is a durable run, bracketed by Open and Close
+// (store.go). Open over an existing directory rebuilds a live tracker from
+// catalog.json and the MVCSEG01 segments it lists (recover.go): every
+// segment is verified by size, SHA-256 and a full decode; the per-thread
+// and per-object clocks, the component cover and the epoch bookkeeping are
+// rebuilt from the catalog's resume manifest plus a replay of the current
+// epoch's records; and committing resumes at the next trace index. If the
+// resume manifest is unusable or a listed segment is damaged, recovery
+// falls back to starting a new epoch over the intact prefix — sound
+// because the epoch barrier already restarts clocks at zero. Damage never
+// panics and never fails the Open: a torn catalog.json falls back to the
+// catalog.json.prev backup, torn or hash-mismatched tails and orphan spill
+// files are quarantined (renamed aside with tlog.QuarantineSuffix), and
+// the loss is reported via RecoveryInfo and Err. The contract: what
+// survives a crash is exactly the last published catalog generation and
+// the immutable segments it lists; what is lost is the unsealed suffix.
+//
+// Store gathers every storage policy into one validated struct. Retention
+// (retain.go) retires graduated — closed-epoch — segments oldest-first by
+// age or byte budget, deleting or archiving their files only after the
+// catalog generation that stops listing them is published; replay then
+// starts at the recorded retention floor. A Shipper (ship.go) mirrors the
+// published history into another directory behind a durable cursor, and
+// the mirror is itself a valid run directory.
 package track
 
 import (
@@ -152,6 +179,7 @@ import (
 
 	"mixedclock/internal/core"
 	"mixedclock/internal/event"
+	"mixedclock/internal/tlog"
 	"mixedclock/internal/vclock"
 )
 
@@ -305,9 +333,26 @@ type Tracker struct {
 	// immutable (a replay may be reading them with no lock held).
 	spill     SpillPolicy
 	compact   CompactPolicy
+	retain    RetainPolicy
 	segs      []*segment
 	tailStart int
 	tail      []*tailBlock
+	// retained is the retention floor: events below it were retired by a
+	// RetainPolicy pass (always whole segments of closed epochs), so sealed
+	// history covers [retained, tailStart). Written under the world write
+	// lock.
+	retained int
+	// resume is the latest resume manifest, captured under the world write
+	// lock at every seal, compaction and Open (each capture builds a fresh
+	// immutable value), and embedded in the published catalog so a
+	// restarted process can rebuild the tracker. Read under RLock(0).
+	resume *tlog.CatalogResume
+	// recovery describes what Open reconstructed; nil for trackers built
+	// by NewTracker.
+	recovery *RecoveryInfo
+	// closed is set by Close: Do panics, mutating lifecycle calls error,
+	// reads keep working (post-mortem inspection).
+	closed atomic.Bool
 	// sealed mirrors tailStart for the lock-free auto-seal check in Do;
 	// sealGate admits one auto-seal attempt at a time; sealBroken disarms
 	// auto-sealing after a spill failure (one failed barrier, not one per
@@ -341,10 +386,13 @@ type Tracker struct {
 type Option func(*options)
 
 type options struct {
-	mech    core.Mechanism
-	backend vclock.Backend
-	spill   SpillPolicy
-	compact CompactPolicy
+	mech       core.Mechanism
+	backend    vclock.Backend
+	backendSet bool
+	store      Store
+	// err is the first invalid policy an option reported. NewTracker, the
+	// lenient legacy constructor, ignores it; Open surfaces it.
+	err error
 }
 
 // WithMechanism selects the online component-choice mechanism (default: the
@@ -362,21 +410,33 @@ func WithMechanism(m core.Mechanism) Option {
 // Compact from the observed component-set width and join shape
 // (core.ChooseBackend).
 func WithBackend(b vclock.Backend) Option {
-	return func(o *options) { o.backend = b }
+	return func(o *options) { o.backend, o.backendSet = b, true }
 }
 
-// NewTracker returns an empty tracker.
+// NewTracker returns an empty tracker. It is the lenient legacy
+// constructor: policies are accepted as given, without the validation Open
+// performs. New code that spills should prefer Open, which also recovers an
+// existing directory.
 func NewTracker(opts ...Option) *Tracker {
-	o := options{mech: core.NewHybrid(), backend: vclock.BackendFlat}
+	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
+	return newTracker(o)
+}
+
+func defaultOptions() options {
+	return options{mech: core.NewHybrid(), backend: vclock.BackendFlat}
+}
+
+func newTracker(o options) *Tracker {
 	t := &Tracker{
 		world:     newWorldLock(),
 		requested: o.backend,
 		backend:   core.ResolveBackend(o.backend, 0, 0),
-		spill:     o.spill,
-		compact:   o.compact,
+		spill:     o.store.Spill,
+		compact:   o.store.Compact,
+		retain:    o.store.Retain,
 	}
 	t.lastSealNano.Store(time.Now().UnixNano())
 	t.cover.Store(core.NewSharedCover(core.NewCoverTracker(o.mech)))
@@ -504,6 +564,9 @@ func (th *Thread) do(o *Object, op event.Op, fn func()) Stamped {
 	t := th.t
 	if t != o.t {
 		panic(fmt.Sprintf("track: thread %q and object %q belong to different trackers", th.name, o.name))
+	}
+	if t.closed.Load() {
+		panic(fmt.Sprintf("track: thread %q: Do on a closed Tracker", th.name))
 	}
 	if op == event.OpRead {
 		o.mu.RLock()
@@ -683,6 +746,10 @@ func (t *Tracker) stampAt(idx int) vclock.Vector {
 		// Unreachable for cells minted by commit; guard against decay.
 		return nil
 	}
+	if idx < t.retained {
+		t.noteErr(fmt.Errorf("track: stamp %d was retired by the retention policy (floor %d)", idx, t.retained))
+		return nil
+	}
 	v, err := t.sealedStampLocked(idx)
 	if err != nil {
 		t.noteErr(fmt.Errorf("track: materializing sealed stamp %d: %w", idx, err))
@@ -710,6 +777,39 @@ func (t *Tracker) Components() []core.Component { return t.cover.Load().Componen
 
 // Events returns the number of recorded operations.
 func (t *Tracker) Events() int { return int(t.seq.Load()) }
+
+// RetainedEvents returns the retention floor: the smallest trace index whose
+// event is still replayable. Zero until a RetainPolicy pass retires
+// segments; events below the floor are gone from Stream/Snapshot output and
+// their lazy stamps materialize as nil.
+func (t *Tracker) RetainedEvents() int {
+	t.world.RLock(0)
+	defer t.world.RUnlock(0)
+	return t.retained
+}
+
+// Threads returns the registered threads in registration order (index is
+// the dense ThreadID). After Open, this is how a resuming process reattaches
+// to the threads the previous run registered — registering the same names
+// again would mint fresh IDs.
+func (t *Tracker) Threads() []*Thread {
+	t.reg.Lock()
+	defer t.reg.Unlock()
+	return append([]*Thread(nil), t.threads...)
+}
+
+// Objects returns the registered objects in registration order (index is
+// the dense ObjectID); see Threads.
+func (t *Tracker) Objects() []*Object {
+	t.reg.Lock()
+	defer t.reg.Unlock()
+	return append([]*Object(nil), t.objects...)
+}
+
+// Recovery reports what Open reconstructed from its directory — the resumed
+// event count and epoch, quarantined files, whether the previous run closed
+// cleanly. Nil for trackers built by NewTracker.
+func (t *Tracker) Recovery() *RecoveryInfo { return t.recovery }
 
 // Snapshot quiesces the tracker and returns a copy of the recorded
 // computation together with its timestamps (indexed by event index). It is

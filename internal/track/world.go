@@ -50,6 +50,7 @@ type paddedInt64 struct {
 
 func (p *paddedInt64) Add(d int64) int64 { return p.v.Add(d) }
 func (p *paddedInt64) Load() int64       { return p.v.Load() }
+func (p *paddedInt64) Store(x int64)     { p.v.Store(x) }
 
 // worldLock is the sharded barrier.
 type worldLock struct {

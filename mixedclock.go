@@ -87,6 +87,21 @@ type (
 	// CompactPolicy is the tiered segment-compaction knob set: how many
 	// sealed segments to tolerate and the size ceiling of a merged tier.
 	CompactPolicy = track.CompactPolicy
+	// RetainPolicy retires graduated (closed-epoch) segments by age or
+	// total byte budget, optionally archiving them instead of deleting.
+	RetainPolicy = track.RetainPolicy
+	// Store is a tracker's complete storage configuration — spilling,
+	// compaction and retention in one validated struct; see WithStore.
+	Store = track.Store
+	// RecoveryInfo reports what Open reconstructed from a directory:
+	// resumed epoch and index, retention floor, quarantined files, whether
+	// the previous run closed cleanly. See Tracker.Recovery.
+	RecoveryInfo = track.RecoveryInfo
+	// Shipper incrementally copies a spill directory's sealed, published
+	// history to a mirror directory, resuming from a durable cursor.
+	Shipper = track.Shipper
+	// ShipReport summarizes one Shipper.ConsumeUpTo pass.
+	ShipReport = track.ShipReport
 	// Catalog is the read-only, JSON-serializable view of sealed history
 	// that external log shippers poll; see Tracker.Catalog.
 	Catalog = tlog.Catalog
@@ -166,7 +181,18 @@ func NewClockBackend(comps *ComponentSet, b Backend) *MixedClock {
 func NewHybrid() Hybrid { return core.NewHybrid() }
 
 // NewTracker returns a live tracker for goroutine-level causality tracking.
+// For a durable run backed by a spill directory — crash recovery, retention,
+// a clean shutdown — use Open and Tracker.Close instead; NewTracker with
+// WithSpill remains as sugar over the same store machinery, minus recovery.
 func NewTracker(opts ...TrackerOption) *Tracker { return track.NewTracker(opts...) }
+
+// Open opens dir as a durable run: an absent or empty directory starts a
+// fresh tracker spilling there, an existing one is recovered — every listed
+// segment verified by size and content hash, clocks and cover rebuilt, a
+// torn tail quarantined — and committing resumes at the correct epoch and
+// trace index. Bracket the run with Tracker.Close. Unlike NewTracker, Open
+// validates its options. See Tracker.Recovery for what was reconstructed.
+func Open(dir string, opts ...TrackerOption) (*Tracker, error) { return track.Open(dir, opts...) }
 
 // WithMechanism selects the tracker's online mechanism.
 func WithMechanism(m Mechanism) TrackerOption { return track.WithMechanism(m) }
@@ -174,11 +200,20 @@ func WithMechanism(m Mechanism) TrackerOption { return track.WithMechanism(m) }
 // WithBackend selects the tracker's clock representation (Flat or Tree).
 func WithBackend(b Backend) TrackerOption { return track.WithBackend(b) }
 
+// WithStore sets the tracker's complete storage configuration: spill,
+// compaction and retention policies in one struct. This is the canonical
+// storage option; WithSpill, WithCompaction and WithRetention are sugar over
+// its fields. Open rejects an invalid Store; NewTracker applies it as given.
+func WithStore(s Store) TrackerOption { return track.WithStore(s) }
+
 // WithSpill sets the tracker's spill policy: seal the merged tail into
 // immutable delta-encoded segments every SealEvents events and, with a Dir,
 // spill sealed segments to disk so a long-running tracker holds bounded
 // memory. Sealed history is replayed transparently by Snapshot, Stream,
 // SnapshotTo and lazy Stamped vectors.
+//
+// Deprecated: prefer WithStore(Store{Spill: p}), or Open, which supplies
+// the directory itself.
 func WithSpill(p SpillPolicy) TrackerOption { return track.WithSpill(p) }
 
 // WithCompaction arms automatic tiered compaction of sealed segments: after
@@ -186,7 +221,18 @@ func WithSpill(p SpillPolicy) TrackerOption { return track.WithSpill(p) }
 // segments are merged (never across an epoch boundary, never past
 // TargetBytes) with replay bytes unchanged. Tracker.CompactSegments runs a
 // pass explicitly.
+//
+// Deprecated: prefer WithStore(Store{Compact: p}).
 func WithCompaction(p CompactPolicy) TrackerOption { return track.WithCompaction(p) }
+
+// WithRetention arms automatic retirement of graduated segments on the seal
+// path; Tracker.RetainSegments runs a pass explicitly. Equivalent to setting
+// Store.Retain via WithStore.
+func WithRetention(p RetainPolicy) TrackerOption { return track.WithRetention(p) }
+
+// ErrCatalogBehind is returned (wrapped) by Shipper.ConsumeUpTo when the
+// published catalog generation is still behind the requested one.
+var ErrCatalogBehind = track.ErrCatalogBehind
 
 // ReadCatalog loads and validates a segment catalog document, as published
 // by a spilling tracker to catalog.json in its spill directory.
