@@ -7,6 +7,7 @@ import (
 	"mixedclock/internal/detect"
 	"mixedclock/internal/predicate"
 	"mixedclock/internal/replay"
+	"mixedclock/internal/track"
 )
 
 // Application-layer helpers built on timestamps: the debugging and
@@ -76,6 +77,37 @@ func Possibly(tr *Trace, pred Predicate, maxStates int) (Cut, bool, error) {
 func Definitely(tr *Trace, pred Predicate, maxStates int) (bool, error) {
 	return predicate.Definitely(tr, pred, maxStates)
 }
+
+// Online detection: the same analyses evaluated incrementally over a live
+// tracker's stream. See Tracker.NewMonitor and the internal/track package
+// documentation for the consumption model and windowing guarantees.
+
+type (
+	// Monitor is an online detector registered on a live Tracker: it
+	// consumes sealed segments as they are published (barrier-free) and
+	// the frozen tail on demand (Monitor.Sync), evaluating the census,
+	// schedule-sensitive pairs, order watches and predicate watches
+	// incrementally.
+	Monitor = track.Monitor
+	// MonitorPolicy bounds a monitor's state (Window, MaxCuts) and wires
+	// the detection callback.
+	MonitorPolicy = track.MonitorPolicy
+	// Detection is one online finding, with epoch and trace-index
+	// provenance into the run.
+	Detection = track.Detection
+	// MonitorStats is a live summary of a monitor's evaluation state,
+	// including the incremental König lower bound on optimal clock width.
+	MonitorStats = track.MonitorStats
+	// Selector picks the events a monitor watch applies to.
+	Selector = track.Selector
+)
+
+// Detection kinds reported by a Monitor.
+const (
+	DetectPair     = track.DetectPair
+	DetectOrder    = track.DetectOrder
+	DetectPossibly = track.DetectPossibly
+)
 
 // Schedule exploration: a recorded trace is one interleaving of the
 // computation's partial order; these helpers produce and check others.

@@ -798,3 +798,65 @@ func BenchmarkRecover(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMonitorLive measures commit throughput with an online Monitor
+// riding the seal stream against the same run bare: the cost of live
+// detection is the delta between the sub-benches, and because sealed
+// segments are evaluated off the commit path it should stay a small
+// constant factor, not a stop-the-world one. The monitor runs a bounded
+// census window, the exact pair scanner and an order watch; Sync drains
+// the tail after the timer stops and the consumed count is verified.
+func BenchmarkMonitorLive(b *testing.B) {
+	for _, monitored := range []bool{false, true} {
+		name := "bare"
+		if monitored {
+			name = "monitor"
+		}
+		b.Run(name, func(b *testing.B) {
+			tracker, err := mixedclock.Open(b.TempDir(), mixedclock.WithStore(mixedclock.Store{
+				Spill: mixedclock.SpillPolicy{SealEvents: 4096},
+			}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			const nThreads, nObjects = 4, 8
+			threads := make([]*mixedclock.Thread, nThreads)
+			for i := range threads {
+				threads[i] = tracker.NewThread(fmt.Sprintf("w%d", i))
+			}
+			objs := make([]*mixedclock.Object, nObjects)
+			for i := range objs {
+				objs[i] = tracker.NewObject(fmt.Sprintf("o%d", i))
+			}
+			var m *mixedclock.Monitor
+			if monitored {
+				m = tracker.NewMonitor(mixedclock.MonitorPolicy{Window: 64})
+				m.WatchOrder("o1-after-o0",
+					func(e mixedclock.Event) bool { return e.Object == 0 && e.Op == mixedclock.OpWrite },
+					func(e mixedclock.Event) bool { return e.Object == 1 && e.Op == mixedclock.OpWrite },
+				)
+				defer m.Close()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				threads[i%nThreads].Write(objs[(i*3)%nObjects], nil)
+			}
+			b.StopTimer()
+			if err := tracker.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if m != nil {
+				if err := m.Sync(); err != nil {
+					b.Fatal(err)
+				}
+				if st := m.Stats(); st.Consumed != tracker.Events() || m.Err() != nil {
+					b.Fatalf("monitor consumed %d of %d, err %v", st.Consumed, tracker.Events(), m.Err())
+				}
+			}
+			if err := tracker.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

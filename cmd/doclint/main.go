@@ -1,0 +1,145 @@
+// Command doclint fails when an exported identifier lacks a doc comment.
+//
+// Usage:
+//
+//	doclint PKGDIR...
+//
+// Each argument is a package directory; _test.go files are skipped. For
+// every exported top-level func, method (on an exported receiver), type,
+// const and var, either the declaration or its group must carry a doc
+// comment. Offenders are listed one per line as file:line and the exit
+// status is 1.
+//
+// This is the docs gate CI runs over the public package and internal/track:
+// the documented surface is the product here, so an undocumented export is
+// a build break, not a style nit.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint PKGDIR...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and returns a sorted list of
+// "file:line: exported X is undocumented" findings.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lintDecl(decl, report)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// lintDecl checks one top-level declaration, reporting each undocumented
+// exported identifier it declares.
+func lintDecl(decl ast.Decl, report func(pos token.Pos, kind, name string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		kind := "function"
+		if d.Recv != nil {
+			// Methods on unexported receivers are not reachable surface.
+			if base := receiverBase(d.Recv); base != "" && !ast.IsExported(base) {
+				return
+			}
+			kind = "method"
+		}
+		report(d.Name.Pos(), kind, d.Name.Name)
+	case *ast.GenDecl:
+		kind := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+		if kind == "" {
+			return // import group
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				// A group doc documents every member; a spec doc or trailing
+				// line comment documents the one spec.
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Name.Pos(), kind, s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						report(name.Pos(), kind, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverBase names the receiver's base type: "T" for (t T), (t *T) and
+// their generic instantiations; "" when the shape is something else.
+func receiverBase(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

@@ -6,6 +6,11 @@
 //	mvc timestamp [-trace FILE] [-n N]     per-event mixed-clock timestamps
 //	mvc order     [-trace FILE] -i A -j B  causal relation between two events
 //	mvc detect    [-trace FILE]            concurrency census + schedule-sensitive pairs
+//	mvc detect    -live -dir DIR [-follow] [-window N] [-order FIRST,SECOND]
+//	                                       online detection over a live run's
+//	                                       spill directory: follow the
+//	                                       published catalog and evaluate the
+//	                                       streaming analyses as segments land
 //	mvc recover   [-trace FILE] -fail K    recovery line excluding event K's causal future
 //	mvc recover   -dir DIR                 reopen a spill directory through
 //	                                       crash recovery and report the
@@ -50,6 +55,17 @@
 // log is produced by Tracker.SnapshotTo/Stream — no vector table is ever
 // materialized, whatever the trace length. The spill directory it leaves
 // behind is what mvc segments inspects and merges.
+//
+// detect -live attaches the online analyses to a spill directory from the
+// outside: it follows the published catalog.json with a durable cursor and
+// evaluates the streaming census, the exact schedule-sensitive pair scanner
+// and an optional -order watch over sealed records as segments land —
+// without ever touching the tracker that owns the directory (sealed
+// segments are immutable; commits continue). -follow keeps polling until
+// the run closes; -order FIRST,SECOND (object names from the catalog's
+// resume manifest) flags every write to SECOND concurrent with the latest
+// write to FIRST, with epoch and trace-index provenance. In-process
+// monitoring with tail visibility is the library's Tracker.NewMonitor.
 package main
 
 import (
@@ -64,6 +80,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 
 	"mixedclock/internal/baseline"
 	"mixedclock/internal/clock"
@@ -88,12 +106,15 @@ func main() {
 	i := fs.Int("i", -1, "order: first event index")
 	j := fs.Int("j", -1, "order: second event index")
 	fail := fs.Int("fail", -1, "recover: failed event index")
-	dir := fs.String("dir", "", "recover: reopen this spill directory instead of cutting a trace")
+	dir := fs.String("dir", "", "recover/detect -live: operate on this spill directory instead of a trace")
 	out := fs.String("out", "", "export: output .mvclog path")
 	logPath := fs.String("log", "", "inspect: input .mvclog path")
 	backendName := fs.String("backend", "flat", "clock representation: flat, tree or auto")
 	format := fs.String("format", "full", "export: log encoding, full or delta")
-	live := fs.Bool("live", false, "export: replay through the live tracker's segment pipeline")
+	live := fs.Bool("live", false, "export: replay through the live segment pipeline; detect: attach to a spill directory")
+	follow := fs.Bool("follow", false, "detect -live: keep polling the catalog until the run closes")
+	window := fs.Int("window", 0, "detect -live: census window in events (0: unbounded, exact)")
+	orderSpec := fs.String("order", "", "detect -live: FIRST,SECOND object names; flag writes to SECOND concurrent with the latest write to FIRST")
 	spillDir := fs.String("spill", "", "export -live: spill sealed segments to this directory")
 	seal := fs.Int("seal", 0, "export -live: seal every N events (0: only at the end)")
 	verify := fs.Bool("verify", false, "catalog: verify segment file sizes and content hashes")
@@ -128,6 +149,17 @@ func main() {
 	}
 	if cmd == "compact" {
 		if err := compactCmd(os.Stdout, fs.Args(), *maxSegs, *target); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	// detect -live follows a spill directory's published catalog; the
+	// trace-based detect below analyzes a recorded JSONL trace.
+	if cmd == "detect" && *live {
+		if *dir == "" {
+			fatal(fmt.Errorf("detect -live needs -dir DIR (a spill directory)"))
+		}
+		if err := detectLive(os.Stdout, *dir, *follow, *window, *orderSpec); err != nil {
 			fatal(err)
 		}
 		return
@@ -283,6 +315,128 @@ func detectCmd(w io.Writer, tr *event.Trace, b vclock.Backend) error {
 		fmt.Fprintf(w, "  %v\n", p)
 	}
 	return nil
+}
+
+// detectLive attaches the online analyses to a spill directory: a
+// tlog.DirCursor follows the published catalog and replays newly sealed
+// records through the streaming census (windowed by -window), the exact
+// schedule-sensitive pair scanner, and the optional -order watch. The
+// owning tracker is never touched — sealed segments are immutable and the
+// catalog is rewritten by atomic rename — so commits continue while this
+// runs. With -follow it polls until the catalog is marked Closed;
+// otherwise one pass over what is currently published.
+//
+// The -order names resolve against the catalog's resume manifest before
+// each poll, so a watch on objects registered before the first seal (the
+// normal case) is armed for every record; an object first named in a later
+// generation is watched from the poll that sees that generation.
+func detectLive(w io.Writer, dir string, follow bool, window int, orderSpec string) error {
+	var firstName, secondName string
+	if orderSpec != "" {
+		parts := strings.SplitN(orderSpec, ",", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("-order wants FIRST,SECOND object names, got %q", orderSpec)
+		}
+		firstName, secondName = parts[0], parts[1]
+	}
+	cur := tlog.NewDirCursor(dir)
+	census := detect.NewCensusAccumulator(window)
+	scanner := detect.NewPairScanner()
+	firstObj, secondObj := event.ObjectID(-1), event.ObjectID(-1)
+	var (
+		haveFirst  bool
+		firstEv    event.Event
+		firstEpoch int
+		firstStamp vclock.Vector
+		detections int
+	)
+	sink := func(e event.Event, epoch int, v vclock.Vector) error {
+		census.Add(epoch, v)
+		if p, ok := scanner.Add(e, epoch, v); ok {
+			detections++
+			fmt.Fprintf(w, "pair: %v <lock-only> %v (epoch %d, index %d)\n", p.First, p.Second, epoch, e.Index)
+		}
+		if e.Op != event.OpWrite || firstObj < 0 {
+			return nil
+		}
+		// Compare against the previous first-match before updating it, so
+		// FIRST==SECOND degenerates sanely. Cross-epoch matches are ordered
+		// by the compaction barrier and never flag.
+		if e.Object == secondObj && haveFirst && firstEpoch == epoch && firstStamp.Concurrent(v) {
+			detections++
+			fmt.Fprintf(w, "order: [%s,%s] %v (epoch %d, index %d) concurrent with %v (epoch %d, index %d)\n",
+				firstName, secondName, e, epoch, e.Index, firstEv, firstEpoch, firstEv.Index)
+		}
+		if e.Object == firstObj {
+			haveFirst, firstEv, firstEpoch = true, e, epoch
+			firstStamp = v.Clone()
+		}
+		return nil
+	}
+	total := 0
+	for {
+		if orderSpec != "" && firstObj < 0 {
+			if cat, err := loadDirCatalog(dir); err == nil && cat.Resume != nil {
+				fo := objectByName(cat.Resume.Objects, firstName)
+				so := objectByName(cat.Resume.Objects, secondName)
+				if fo >= 0 && so >= 0 {
+					firstObj, secondObj = fo, so
+				} else if cat.Closed {
+					return fmt.Errorf("-order: objects %q,%q not both in the catalog's name table %v", firstName, secondName, cat.Resume.Objects)
+				}
+			}
+		}
+		cat, n, err := cur.Poll(sink)
+		if err != nil {
+			return err
+		}
+		total += n
+		if cat != nil && cat.Closed {
+			fmt.Fprintln(w, "run closed")
+			break
+		}
+		if !follow {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if orderSpec != "" && firstObj < 0 {
+		return fmt.Errorf("-order: objects %q,%q never appeared in the catalog's name table", firstName, secondName)
+	}
+	fmt.Fprintf(w, "consumed %d sealed events (cursor at %d", total, cur.Next())
+	if cur.Skipped() > 0 {
+		fmt.Fprintf(w, "; %d below the retention floor skipped", cur.Skipped())
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintf(w, "census: %v", census.Census())
+	if census.Skipped() > 0 {
+		fmt.Fprintf(w, " (+%d pairs beyond the %d-event window)", census.Skipped(), window)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "schedule-sensitive pairs: %d\n", scanner.Count())
+	fmt.Fprintf(w, "detections: %d\n", detections)
+	return nil
+}
+
+// loadDirCatalog reads a spill directory's current catalog.json.
+func loadDirCatalog(dir string) (*tlog.Catalog, error) {
+	f, err := os.Open(filepath.Join(dir, tlog.CatalogFileName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tlog.DecodeCatalog(f)
+}
+
+// objectByName resolves an object name through the resume manifest's dense
+// name table; -1 if absent.
+func objectByName(names []string, name string) event.ObjectID {
+	for i, n := range names {
+		if n == name {
+			return event.ObjectID(i)
+		}
+	}
+	return -1
 }
 
 func recover_(w io.Writer, tr *event.Trace, fail int, b vclock.Backend) error {

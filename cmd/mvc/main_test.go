@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -546,5 +547,56 @@ func TestRecoverDirCommand(t *testing.T) {
 	// recoverDir on a directory that was never a run.
 	if err := recoverDir(&buf, filepath.Join(dir, "mirror")); err != nil {
 		t.Errorf("recover -dir on a shipped mirror: %v", err)
+	}
+}
+
+// TestDetectLiveOutput seeds an order violation into a real durable run and
+// checks detect -live reports it with epoch and trace-index provenance,
+// plus the streaming census summary.
+func TestDetectLiveOutput(t *testing.T) {
+	spill := t.TempDir()
+	tk, err := track.Open(spill, track.WithStore(track.Store{
+		Spill: track.SpillPolicy{SealEvents: 2},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := tk.NewObject("guard")
+	data := tk.NewObject("data")
+	a := tk.NewThread("a")
+	b := tk.NewThread("b")
+	a.Write(guard, nil)
+	b.Write(data, nil) // concurrent with the guard write: violation
+	b.Read(guard, nil) // causal edge a -> b
+	b.Write(data, nil) // ordered: clean
+	if err := tk.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := detectLive(&buf, spill, false, 0, "guard,data"); err != nil {
+		t.Fatalf("detectLive: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "order: [guard,data]") {
+		t.Errorf("missing order detection:\n%s", out)
+	}
+	if !strings.Contains(out, "(epoch 0, index 1) concurrent with") ||
+		!strings.Contains(out, "(epoch 0, index 0)") {
+		t.Errorf("missing provenance:\n%s", out)
+	}
+	if !strings.Contains(out, "consumed 4 sealed events") {
+		t.Errorf("missing consumption summary:\n%s", out)
+	}
+	if !strings.Contains(out, "run closed") || !strings.Contains(out, "census:") {
+		t.Errorf("missing closed marker or census:\n%s", out)
+	}
+
+	// Bad -order specs fail loudly.
+	if err := detectLive(io.Discard, spill, false, 0, "guard"); err == nil {
+		t.Error("malformed -order accepted")
+	}
+	if err := detectLive(io.Discard, spill, false, 0, "guard,nosuch"); err == nil {
+		t.Error("-order with an unknown object accepted")
 	}
 }

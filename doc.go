@@ -74,12 +74,16 @@
 // The canonical representation of a tracked run is the delta stream, end to
 // end. History the tracker has merged is sealed — at Compact, at an
 // explicit Seal, or automatically under a spill policy — into immutable,
-// delta-encoded segments (the same wire format the logs use), and a
-// SpillPolicy moves sealed segments to disk so a long-running tracker
-// holds bounded memory however many events it records:
+// delta-encoded segments (the same wire format the logs use), and the
+// store's spill policy moves sealed segments to disk so a long-running
+// tracker holds bounded memory however many events it records. The
+// canonical way to start a spilling run is Open with a Store (see
+// "Durability and recovery" below); an in-memory NewTracker can opt into
+// spilling alone with the same policy:
 //
-//	tracker := mixedclock.NewTracker(
-//		mixedclock.WithSpill(mixedclock.SpillPolicy{Dir: dir, SealEvents: 100_000}))
+//	tracker, err := mixedclock.Open(dir, mixedclock.WithStore(mixedclock.Store{
+//		Spill: mixedclock.SpillPolicy{SealEvents: 100_000},
+//	}))
 //
 // Sealing is invisible to every reader: Snapshot, Stamped comparisons and
 // epoch queries replay spilled segments transparently (Tracker.Segments
@@ -103,8 +107,8 @@
 // Frequent seals produce many small segments; the lifecycle manager keeps
 // them operable. Tiered compaction merges runs of adjacent small segments
 // (never across an epoch boundary, never past CompactPolicy.TargetBytes)
-// into larger ones with replay bytes unchanged — arm it with
-// WithCompaction, run a pass explicitly with Tracker.CompactSegments, or
+// into larger ones with replay bytes unchanged — arm it through
+// Store.Compact, run a pass explicitly with Tracker.CompactSegments, or
 // compact a retired spill directory offline with `mvc compact`. Seal
 // boundaries can be aligned (SpillPolicy.SealEvery) or wall-time capped
 // (SpillPolicy.SealInterval) so segment edges line up with retention wants.
@@ -181,6 +185,30 @@
 // workload shape. Auto picks a backend from the observed computation —
 // offline clocks resolve it against the analyzed width and join shape, a
 // Tracker re-decides at every Compact.
+//
+// # Online detection
+//
+// The analyses above also run incrementally, over the live stream, through
+// a Monitor registered on a running tracker:
+//
+//	m := tracker.NewMonitor(mixedclock.MonitorPolicy{Window: 1 << 16})
+//	m.WatchOrder("credit-after-debit", isDebitWrite, isCreditWrite)
+//	m.WatchPossibly("invariant-broken", pred)
+//
+// Every seal wakes the monitor, which evaluates the newly sealed segments
+// through the same lock-free replay path Stream uses for sealed history —
+// commits continue while it works, so monitoring never extends a
+// stop-the-world window — and Monitor.Sync catches it up with the unsealed
+// tail on demand. The monitor maintains a streaming concurrency census, an
+// exact schedule-sensitive pair scanner, a happened-before index over the
+// last Window events, the registered order and predicate watches, and an
+// incremental König lower bound on the optimal clock width; detections
+// carry epoch and trace-index provenance, and the first order violation
+// arms an online recovery line. The same detection attaches to a run from
+// outside the process via its spill directory: `mvc detect -live -dir DIR`
+// follows the published catalog and evaluates sealed segments as they
+// land. See the internal/track package documentation for the windowing
+// guarantees (what stays exact, what becomes sound-but-bounded).
 //
 // # Persistence
 //

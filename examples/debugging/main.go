@@ -4,6 +4,12 @@
 // reads both. The recorded timestamps then reconstruct what actually
 // happened — which results could have been influenced by which inputs, and
 // where the schedule could have gone differently.
+//
+// This is the post-mortem side of the story: the run finishes, Snapshot
+// materializes the trace and stamps behind one barrier, and the offline
+// analyses answer questions about it. The same questions can be asked
+// while the run is still going — see examples/bankledger for the online
+// Monitor, and examples/onlinevsoffline for the trade-off between the two.
 package main
 
 import (

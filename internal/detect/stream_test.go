@@ -1,0 +1,126 @@
+package detect_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mixedclock/internal/clock"
+	"mixedclock/internal/core"
+	"mixedclock/internal/detect"
+	"mixedclock/internal/trace"
+)
+
+// TestCensusAccumulatorMatchesTakeCensus streams every generator workload's
+// stamps through the accumulator with an unbounded window and checks the
+// result equals the offline TakeCensus exactly — the census half of the
+// online/offline equivalence property.
+func TestCensusAccumulatorMatchesTakeCensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, w := range trace.Workloads() {
+		tr, err := trace.Generate(w, trace.Config{Threads: 5, Objects: 6, Events: 150, ReadFraction: 0.3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+		acc := detect.NewCensusAccumulator(0)
+		for _, v := range stamps {
+			acc.Add(0, v)
+		}
+		if got, want := acc.Census(), detect.TakeCensus(stamps); got != want {
+			t.Fatalf("%v: streaming census %+v, offline %+v", w, got, want)
+		}
+		if acc.Skipped() != 0 {
+			t.Fatalf("%v: unbounded window skipped %d pairs", w, acc.Skipped())
+		}
+	}
+}
+
+// TestCensusAccumulatorWindowAccounting checks that with a bounded window
+// every pair is either compared or counted as skipped, never lost.
+func TestCensusAccumulatorWindowAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr, err := trace.Generate(trace.Uniform, trace.Config{Threads: 4, Objects: 4, Events: 100}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+	acc := detect.NewCensusAccumulator(10)
+	for _, v := range stamps {
+		acc.Add(0, v)
+	}
+	c := acc.Census()
+	if all := len(stamps) * (len(stamps) - 1) / 2; c.Total+acc.Skipped() != all {
+		t.Fatalf("compared %d + skipped %d != all pairs %d", c.Total, acc.Skipped(), all)
+	}
+	if c.Ordered+c.Concurrent != c.Total {
+		t.Fatalf("census does not add up: %+v", c)
+	}
+}
+
+// sortPairs orders pairs by (first, second) event index so the streaming
+// emission order (by completing event) can be compared against the offline
+// order (by first event).
+func sortPairs(ps []detect.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].First.Index != ps[j].First.Index {
+			return ps[i].First.Index < ps[j].First.Index
+		}
+		return ps[i].Second.Index < ps[j].Second.Index
+	})
+}
+
+// TestPairScannerMatchesOffline is the exactness property of the streaming
+// scanner: over every generator workload, the flagged pairs must equal
+// ScheduleSensitivePairs on the materialized trace as a set, with no
+// window at all — the per-object lazy-successor state machine is exact, not
+// an approximation.
+func TestPairScannerMatchesOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, w := range trace.Workloads() {
+		tr, err := trace.Generate(w, trace.Config{Threads: 6, Objects: 5, Events: 200, ReadFraction: 0.4}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+		sc := detect.NewPairScanner()
+		var got []detect.Pair
+		for i, v := range stamps {
+			if p, ok := sc.Add(tr.At(i), 0, v); ok {
+				got = append(got, p)
+			}
+		}
+		want := detect.ScheduleSensitivePairs(tr)
+		sortPairs(got)
+		sortPairs(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: streaming pairs %v, offline %v", w, got, want)
+		}
+		if sc.Count() != len(want) {
+			t.Fatalf("%v: count %d, want %d", w, sc.Count(), len(want))
+		}
+	}
+}
+
+// TestPairScannerEpochReset checks that an epoch change drops the per-object
+// records: the first event of the new epoch completes no pair, because the
+// Compact barrier already orders it after everything before it.
+func TestPairScannerEpochReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr, err := trace.Generate(trace.Uniform, trace.Config{Threads: 3, Objects: 2, Events: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := clock.Run(tr, core.AnalyzeTrace(tr).NewClock())
+	sc := detect.NewPairScanner()
+	for i, v := range stamps {
+		epoch := 0
+		if i >= 15 {
+			epoch = 1
+		}
+		if p, ok := sc.Add(tr.At(i), epoch, v); ok && i == 15 {
+			t.Fatalf("first event of a new epoch flagged a cross-epoch pair %v", p)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package hb
+
+import (
+	"mixedclock/internal/vclock"
+)
+
+// Recent answers happened-before queries over a sliding window of a live
+// stamp stream. Where Oracle materializes O(E²/64) reachability for a fixed
+// trace, Recent keeps only the last Window (event, stamp) records — O(W·k)
+// memory — and answers by the paper's Theorem 2: for events in the same
+// epoch, e → f ⇔ stamp(e) < stamp(f); events in different epochs are
+// ordered by the compaction barrier between the epochs.
+//
+// Stamps arriving through a StampSink are borrowed, so Add clones; queries
+// on events that have slid out of the window report ok=false rather than
+// guessing.
+type Recent struct {
+	window int
+	first  int // global index of ring[0]
+	epochs []int
+	ring   []vclock.Vector
+}
+
+// NewRecent returns an empty window retaining the last window stamps;
+// window <= 0 retains everything (offline-equivalent, unbounded memory).
+func NewRecent(window int) *Recent {
+	return &Recent{window: window}
+}
+
+// Add appends the stamp of the next event in the stream. Indices must be
+// gapless and ascending: the i-th call records global trace index
+// first+len at the time of the call. The vector is cloned.
+func (r *Recent) Add(epoch int, v vclock.Vector) {
+	r.epochs = append(r.epochs, epoch)
+	r.ring = append(r.ring, v.Clone())
+	if r.window > 0 && len(r.ring) > r.window {
+		drop := len(r.ring) - r.window
+		r.epochs = r.epochs[drop:]
+		r.ring = append(r.ring[:0:0], r.ring[drop:]...)
+		r.first += drop
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recent) Len() int { return len(r.ring) }
+
+// Lo returns the smallest retained global index; events below it have been
+// evicted.
+func (r *Recent) Lo() int { return r.first }
+
+// Hi returns one past the largest retained global index.
+func (r *Recent) Hi() int { return r.first + len(r.ring) }
+
+// at fetches a retained record, reporting ok=false if evicted or not yet
+// seen.
+func (r *Recent) at(i int) (int, vclock.Vector, bool) {
+	if i < r.first || i >= r.first+len(r.ring) {
+		return 0, nil, false
+	}
+	return r.epochs[i-r.first], r.ring[i-r.first], true
+}
+
+// HappenedBefore reports whether event i happened before event j, and
+// whether both events are still inside the window (ok=false means the
+// question cannot be answered from retained state).
+func (r *Recent) HappenedBefore(i, j int) (hb, ok bool) {
+	ei, vi, oki := r.at(i)
+	ej, vj, okj := r.at(j)
+	if !oki || !okj {
+		return false, false
+	}
+	if ei != ej {
+		// A Compact barrier separates epochs: the earlier epoch's
+		// events all happened before the later epoch's.
+		return ei < ej, true
+	}
+	return vi.Less(vj), true
+}
+
+// Concurrent reports whether events i and j are concurrent, with the same
+// ok convention as HappenedBefore.
+func (r *Recent) Concurrent(i, j int) (conc, ok bool) {
+	if i == j {
+		_, _, oki := r.at(i)
+		return false, oki
+	}
+	ei, vi, oki := r.at(i)
+	ej, vj, okj := r.at(j)
+	if !oki || !okj {
+		return false, false
+	}
+	if ei != ej {
+		return false, true
+	}
+	return vi.Concurrent(vj), true
+}

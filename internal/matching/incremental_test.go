@@ -1,0 +1,88 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixedclock/internal/bipartite"
+)
+
+// TestIncrementalMatchesHopcroftKarp inserts random edge sequences one at a
+// time and checks after every insertion that the incremental matching size
+// equals a from-scratch Hopcroft–Karp run on the revealed graph — the
+// invariant the monitor's live cover lower bound depends on.
+func TestIncrementalMatchesHopcroftKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		nT := 1 + rng.Intn(8)
+		nO := 1 + rng.Intn(10)
+		g := bipartite.New(nT, nO)
+		inc := NewIncremental()
+		edges := 1 + rng.Intn(nT*nO)
+		for i := 0; i < edges; i++ {
+			et, eo := rng.Intn(nT), rng.Intn(nO)
+			g.AddEdge(et, eo)
+			inc.AddEdge(et, eo)
+			want := HopcroftKarp(g).Size()
+			if inc.Size() != want {
+				t.Fatalf("trial %d after edge %d (%d,%d): incremental size %d, Hopcroft-Karp %d",
+					trial, i, et, eo, inc.Size(), want)
+			}
+		}
+		if inc.Edges() != g.Edges() {
+			t.Fatalf("trial %d: %d edges recorded, graph has %d", trial, inc.Edges(), g.Edges())
+		}
+	}
+}
+
+// TestIncrementalDuplicatesAndBounds checks duplicate edges are no-ops and
+// negative IDs are rejected without panicking.
+func TestIncrementalDuplicatesAndBounds(t *testing.T) {
+	inc := NewIncremental()
+	if !inc.AddEdge(0, 0) {
+		t.Fatal("first edge should grow the matching")
+	}
+	if inc.AddEdge(0, 0) {
+		t.Fatal("duplicate edge should not grow the matching")
+	}
+	if inc.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1", inc.Edges())
+	}
+	if inc.AddEdge(-1, 2) || inc.AddEdge(2, -1) {
+		t.Fatal("negative IDs must be ignored")
+	}
+	if inc.Size() != 1 {
+		t.Fatalf("size = %d, want 1", inc.Size())
+	}
+}
+
+// TestIncrementalBothMatchedAugment covers the case where the new edge's
+// endpoints are both already matched yet the matching can still grow — the
+// augmenting path starts at a different unmatched thread and merely passes
+// through the new edge.
+func TestIncrementalBothMatchedAugment(t *testing.T) {
+	inc := NewIncremental()
+	// t0-o0, t1-o1 matched; t2 only reaches o0; t1 also reaches o2.
+	inc.AddEdge(0, 0)
+	inc.AddEdge(1, 1)
+	inc.AddEdge(2, 0)
+	inc.AddEdge(1, 2)
+	if inc.Size() != 3 {
+		// With edges so far a perfect 3-matching may already exist
+		// depending on augmentation order; establish the both-matched
+		// scenario explicitly below instead of asserting here.
+		t.Logf("size after setup: %d", inc.Size())
+	}
+	// Fresh instance with a forced shape: t0-o0 and t1-o1 matched, then
+	// edge (t0,o1)... build the classic chain t2-o0-t0-o1-t1-o2.
+	inc = NewIncremental()
+	inc.AddEdge(0, 0) // matched t0-o0
+	inc.AddEdge(1, 1) // matched t1-o1
+	inc.AddEdge(2, 0) // t2 blocked: o0 taken, no augment beyond t0
+	inc.AddEdge(1, 2) // t1 gains o2 (no growth yet: t1 matched, both ends free? o2 free -> no, matching can't grow: t2 still stuck)
+	before := inc.Size()
+	grew := inc.AddEdge(0, 1) // both t0 and o1 matched; unlocks t2-o0-t0-o1-t1-o2
+	if !grew || inc.Size() != before+1 {
+		t.Fatalf("both-matched edge should augment: grew=%v size %d -> %d", grew, before, inc.Size())
+	}
+}

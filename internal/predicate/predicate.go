@@ -34,10 +34,42 @@ type State struct {
 	lastOfObject []int
 	// eventsOfThread[t] lists event indices of thread t in program order.
 	eventsOfThread [][]int
+	// base, when non-nil, summarizes the part of the computation that slid
+	// out of a streaming window and is treated as unconditionally executed
+	// (see Streamer). Offline detection leaves it nil.
+	base *baseState
 }
 
-// Executed returns how many events of thread t have run.
-func (s *State) Executed(t event.ThreadID) int { return s.executed[t] }
+// baseState condenses an already-executed prefix: per-thread counts plus
+// the last event per thread and per object, which is all the State API can
+// be asked about the evicted history.
+type baseState struct {
+	executed   []int
+	total      int
+	lastThread []event.Event
+	hasThread  []bool
+	lastObject []event.Event
+	hasObject  []bool
+}
+
+// localExecuted returns the in-window executed count for t, tolerating
+// threads that never appear in the window.
+func (s *State) localExecuted(t event.ThreadID) int {
+	if int(t) >= len(s.executed) {
+		return 0
+	}
+	return s.executed[t]
+}
+
+// Executed returns how many events of thread t have run, including any
+// evicted base prefix.
+func (s *State) Executed(t event.ThreadID) int {
+	c := s.localExecuted(t)
+	if s.base != nil && int(t) < len(s.base.executed) {
+		c += s.base.executed[t]
+	}
+	return c
+}
 
 // Total returns the total number of executed events in this state.
 func (s *State) Total() int {
@@ -45,29 +77,54 @@ func (s *State) Total() int {
 	for _, c := range s.executed {
 		n += c
 	}
+	if s.base != nil {
+		n += s.base.total
+	}
 	return n
 }
 
-// LastEvent returns thread t's most recently executed event.
+// LastEvent returns thread t's most recently executed event, falling back
+// to the evicted base prefix when the thread has not run inside the window.
+// In a windowed evaluation the returned event's Index is window-relative.
 func (s *State) LastEvent(t event.ThreadID) (event.Event, bool) {
-	c := s.executed[t]
+	c := s.localExecuted(t)
 	if c == 0 {
+		if s.base != nil && int(t) < len(s.base.hasThread) && s.base.hasThread[t] {
+			return s.base.lastThread[t], true
+		}
 		return event.Event{}, false
 	}
 	return s.tr.At(s.eventsOfThread[t][c-1]), true
 }
 
-// LastOnObject returns the most recently executed event on object o.
+// LastOnObject returns the most recently executed event on object o,
+// falling back to the evicted base prefix when the object has not been
+// touched inside the window.
 func (s *State) LastOnObject(o event.ObjectID) (event.Event, bool) {
-	if int(o) >= len(s.lastOfObject) || s.lastOfObject[o] < 0 {
-		return event.Event{}, false
+	if int(o) < len(s.lastOfObject) && s.lastOfObject[o] >= 0 {
+		return s.tr.At(s.lastOfObject[o]), true
 	}
-	return s.tr.At(s.lastOfObject[o]), true
+	if s.base != nil && int(o) < len(s.base.hasObject) && s.base.hasObject[o] {
+		return s.base.lastObject[o], true
+	}
+	return event.Event{}, false
 }
 
-// Cut returns the state as a cut (per-thread prefix lengths).
+// Cut returns the state as a cut (per-thread prefix lengths), counting any
+// evicted base prefix.
 func (s *State) Cut() cut.Cut {
-	return cut.Cut{PerThread: append([]int(nil), s.executed...)}
+	n := len(s.executed)
+	if s.base != nil && len(s.base.executed) > n {
+		n = len(s.base.executed)
+	}
+	per := make([]int, n)
+	copy(per, s.executed)
+	if s.base != nil {
+		for t, c := range s.base.executed {
+			per[t] += c
+		}
+	}
+	return cut.Cut{PerThread: per}
 }
 
 // Predicate evaluates a property of one consistent global state.
@@ -76,6 +133,7 @@ type Predicate func(s *State) bool
 // detector holds the per-trace machinery shared by Possibly and Definitely.
 type detector struct {
 	tr             *event.Trace
+	base           *baseState // nil offline; the evicted prefix when streaming
 	eventsOfThread [][]int
 	// objPred[e] = event index of e's object predecessor, or -1.
 	objPred []int
@@ -147,6 +205,7 @@ func (d *detector) state(executed []int) *State {
 		executed:       append([]int(nil), executed...),
 		lastOfObject:   lastOfObject,
 		eventsOfThread: d.eventsOfThread,
+		base:           d.base,
 	}
 }
 
@@ -163,10 +222,15 @@ func key(executed []int) string {
 // distinct states (0 means DefaultMaxStates) and returns ErrBudget when the
 // lattice is larger and no witness was found within the budget.
 func Possibly(tr *event.Trace, pred Predicate, maxStates int) (cut.Cut, bool, error) {
+	return possiblyOn(newDetector(tr), pred, maxStates)
+}
+
+// possiblyOn runs the Possibly BFS on a prepared detector; the Streamer
+// shares it with a non-nil base.
+func possiblyOn(d *detector, pred Predicate, maxStates int) (cut.Cut, bool, error) {
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
-	d := newDetector(tr)
 	start := make([]int, d.threads)
 	seen := map[string]bool{key(start): true}
 	queue := [][]int{start}

@@ -1,0 +1,166 @@
+package tlog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+// DirCursor follows the sealed history of a spill directory from outside
+// the owning process: it re-reads catalog.json on every Poll, opens any
+// newly published segments, and delivers their records in trace order with
+// epoch provenance. That is how `mvc detect -live -dir` attaches to a
+// running (or recovered, or cleanly closed) store without sharing memory
+// with it — the catalog's atomic rename publication makes every read a
+// consistent snapshot.
+//
+// The cursor is resilient to concurrent lifecycle activity: if a segment
+// file vanishes between reading the catalog and opening it (a compaction
+// or retention pass retired it), Poll re-reads the catalog and retries; if
+// the retention floor has passed the cursor's position, Poll skips forward
+// and reports the gap. Records at or above the catalog's SealedEvents are
+// never delivered — the in-memory tail is visible only to in-process
+// monitors.
+type DirCursor struct {
+	dir  string
+	next int
+	gen  int64
+	// skipped accumulates records lost to retention (floor passed us).
+	skipped int
+}
+
+// dirCursorRetries bounds catalog re-reads when segment files vanish under
+// a concurrent compaction/retention pass.
+const dirCursorRetries = 3
+
+// NewDirCursor returns a cursor positioned at trace index 0 of dir's run.
+func NewDirCursor(dir string) *DirCursor {
+	return &DirCursor{dir: dir, gen: -1}
+}
+
+// Next returns the global trace index of the next undelivered record.
+func (c *DirCursor) Next() int { return c.next }
+
+// Skipped returns how many records were skipped because a retention pass
+// retired them before the cursor got there.
+func (c *DirCursor) Skipped() int { return c.skipped }
+
+// Poll reads the current catalog and delivers every newly sealed record to
+// fn in trace order. Vectors are borrowed (valid only during the call).
+// It returns the catalog snapshot it worked from — nil if the directory
+// has no catalog yet, which is not an error; a live tracker publishes its
+// first one at the first seal — and the number of records delivered.
+// fn returning an error aborts the poll; delivered records stay consumed.
+func (c *DirCursor) Poll(fn func(e event.Event, epoch int, v vclock.Vector) error) (*Catalog, int, error) {
+	delivered := 0
+	for attempt := 0; ; attempt++ {
+		cat, err := c.readCatalog()
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, delivered, nil
+			}
+			return nil, delivered, err
+		}
+		if c.next < cat.RetainedEvents {
+			c.skipped += cat.RetainedEvents - c.next
+			c.next = cat.RetainedEvents
+		}
+		n, err := c.replay(cat, fn)
+		delivered += n
+		if err == nil {
+			c.gen = cat.Generation
+			return cat, delivered, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) && attempt < dirCursorRetries {
+			// The segment was retired between catalog read and open;
+			// the next catalog generation describes its replacement.
+			continue
+		}
+		return cat, delivered, err
+	}
+}
+
+// readCatalog decodes catalog.json, falling back to the .prev backup when
+// the primary is torn mid-publication.
+func (c *DirCursor) readCatalog() (*Catalog, error) {
+	cat, err := c.readCatalogFile(CatalogFileName)
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		return cat, err
+	}
+	if prev, perr := c.readCatalogFile(CatalogPrevFileName); perr == nil {
+		return prev, nil
+	}
+	return nil, err
+}
+
+func (c *DirCursor) readCatalogFile(name string) (*Catalog, error) {
+	f, err := os.Open(filepath.Join(c.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCatalog(f)
+}
+
+// replay walks cat's segments covering [c.next, SealedEvents) and streams
+// their records.
+func (c *DirCursor) replay(cat *Catalog, fn func(e event.Event, epoch int, v vclock.Vector) error) (int, error) {
+	delivered := 0
+	for _, seg := range cat.Segments {
+		end := seg.FirstIndex + seg.Events
+		if end <= c.next {
+			continue
+		}
+		if seg.FirstIndex > c.next {
+			return delivered, fmt.Errorf("tlog: catalog gap: next record %d but segment starts at %d", c.next, seg.FirstIndex)
+		}
+		if seg.Path == "" {
+			return delivered, fmt.Errorf("tlog: segment %s [%d,%d) not spilled to disk; cannot follow from another process",
+				SegmentFileName(SegmentMeta{Epoch: seg.Epoch, FirstIndex: seg.FirstIndex, Count: seg.Events}), seg.FirstIndex, end)
+		}
+		n, err := c.replaySegment(seg, fn)
+		delivered += n
+		if err != nil {
+			return delivered, err
+		}
+	}
+	return delivered, nil
+}
+
+// replaySegment opens one spill file and delivers its records from c.next
+// on, advancing the cursor per record.
+func (c *DirCursor) replaySegment(seg CatalogSegment, fn func(e event.Event, epoch int, v vclock.Vector) error) (int, error) {
+	f, err := os.Open(filepath.Join(c.dir, filepath.FromSlash(seg.Path)))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sr, err := NewSegmentReader(f)
+	if err != nil {
+		return 0, fmt.Errorf("tlog: %s: %w", seg.Path, err)
+	}
+	delivered := 0
+	for {
+		e, v, err := sr.Next()
+		if err == io.EOF {
+			return delivered, nil
+		}
+		if err != nil {
+			return delivered, fmt.Errorf("tlog: %s: %w", seg.Path, err)
+		}
+		if e.Index < c.next {
+			continue // already delivered on an earlier poll
+		}
+		if err := fn(e, seg.Epoch, v); err != nil {
+			return delivered, err
+		}
+		c.next = e.Index + 1
+		delivered++
+	}
+}

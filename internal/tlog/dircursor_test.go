@@ -1,0 +1,179 @@
+package tlog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mixedclock/internal/event"
+	"mixedclock/internal/vclock"
+)
+
+// cursorFixture writes count records split into segments of segSize events
+// each under dir, publishing a catalog, and returns the events/stamps.
+func cursorFixture(t *testing.T, dir string, count, segSize int) ([]event.Event, []vclock.Vector) {
+	t.Helper()
+	events := make([]event.Event, count)
+	stamps := make([]vclock.Vector, count)
+	for i := range events {
+		events[i] = event.Event{Index: i, Thread: event.ThreadID(i % 3), Object: event.ObjectID(i % 2), Op: event.OpWrite}
+		v := vclock.New(3)
+		v.Set(i%3, uint64(i+1))
+		stamps[i] = v
+	}
+	cat := &Catalog{FormatVersion: CatalogFormatVersion, Generation: 1, SealedEvents: count}
+	for first := 0; first < count; first += segSize {
+		n := min(segSize, count-first)
+		meta := SegmentMeta{Epoch: 0, FirstIndex: first, Count: n}
+		data := sealSegment(t, meta, events[first:first+n], stamps[first:first+n])
+		name := SegmentFileName(meta)
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cat.Segments = append(cat.Segments, CatalogSegment{
+			Epoch: 0, FirstIndex: first, Events: n, Bytes: int64(len(data)), Path: name,
+		})
+	}
+	writeCatalog(t, dir, cat)
+	return events, stamps
+}
+
+func writeCatalog(t *testing.T, dir string, cat *Catalog) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, CatalogFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := EncodeCatalog(f, cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirCursorFollows checks the cursor delivers sealed records in order,
+// is idempotent across polls, and picks up newly published segments.
+func TestDirCursorFollows(t *testing.T) {
+	dir := t.TempDir()
+	events, stamps := cursorFixture(t, dir, 20, 7)
+
+	c := NewDirCursor(dir)
+	var got []event.Event
+	var gotStamps []vclock.Vector
+	sink := func(e event.Event, epoch int, v vclock.Vector) error {
+		if epoch != 0 {
+			t.Fatalf("epoch %d for event %d", epoch, e.Index)
+		}
+		got = append(got, e)
+		gotStamps = append(gotStamps, v.Clone())
+		return nil
+	}
+	cat, n, err := c.Poll(sink)
+	if err != nil || cat == nil || n != 20 {
+		t.Fatalf("first poll: cat=%v n=%d err=%v", cat, n, err)
+	}
+	for i, e := range got {
+		if e != events[i] || !gotStamps[i].Equal(stamps[i]) {
+			t.Fatalf("record %d: got %v/%v, want %v/%v", i, e, gotStamps[i], events[i], stamps[i])
+		}
+	}
+	if _, n, err := c.Poll(sink); err != nil || n != 0 {
+		t.Fatalf("second poll should be empty: n=%d err=%v", n, err)
+	}
+
+	// Publish 10 more records in one segment; only they are delivered.
+	more := make([]event.Event, 10)
+	moreStamps := make([]vclock.Vector, 10)
+	for i := range more {
+		more[i] = event.Event{Index: 20 + i, Thread: event.ThreadID(i % 3), Object: 0, Op: event.OpRead}
+		v := vclock.New(3)
+		v.Set(i%3, uint64(100+i))
+		moreStamps[i] = v
+	}
+	meta := SegmentMeta{Epoch: 1, FirstIndex: 20, Count: 10}
+	data := sealSegment(t, meta, more, moreStamps)
+	if err := os.WriteFile(filepath.Join(dir, SegmentFileName(meta)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat.Generation++
+	cat.SealedEvents = 30
+	cat.Closed = true
+	cat.Segments = append(cat.Segments, CatalogSegment{
+		Epoch: 1, FirstIndex: 20, Events: 10, Bytes: int64(len(data)), Path: SegmentFileName(meta),
+	})
+	writeCatalog(t, dir, cat)
+
+	got = got[:0]
+	cat2, n, err := c.Poll(func(e event.Event, epoch int, v vclock.Vector) error {
+		if epoch != 1 {
+			t.Fatalf("epoch %d for event %d, want 1", epoch, e.Index)
+		}
+		got = append(got, e)
+		return nil
+	})
+	if err != nil || n != 10 || !cat2.Closed {
+		t.Fatalf("third poll: n=%d closed=%v err=%v", n, cat2 != nil && cat2.Closed, err)
+	}
+	if got[0].Index != 20 || got[9].Index != 29 {
+		t.Fatalf("third poll range [%d,%d]", got[0].Index, got[9].Index)
+	}
+	if c.Next() != 30 {
+		t.Fatalf("cursor at %d, want 30", c.Next())
+	}
+}
+
+// TestDirCursorNoCatalogYet checks polling a directory before the first
+// seal is a quiet no-op, not an error.
+func TestDirCursorNoCatalogYet(t *testing.T) {
+	c := NewDirCursor(t.TempDir())
+	cat, n, err := c.Poll(func(event.Event, int, vclock.Vector) error { return nil })
+	if cat != nil || n != 0 || err != nil {
+		t.Fatalf("cat=%v n=%d err=%v", cat, n, err)
+	}
+}
+
+// TestDirCursorRetentionFloor checks a fresh cursor behind the retention
+// floor skips forward and reports the gap instead of failing on missing
+// segments.
+func TestDirCursorRetentionFloor(t *testing.T) {
+	dir := t.TempDir()
+	events, stamps := cursorFixture(t, dir, 20, 10)
+
+	// Retire the first segment: floor to 10, drop its entry and file.
+	cat, err := func() (*Catalog, error) {
+		f, err := os.Open(filepath.Join(dir, CatalogFileName))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return DecodeCatalog(f)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, cat.Segments[0].Path)); err != nil {
+		t.Fatal(err)
+	}
+	cat.Generation++
+	cat.RetainedEvents = 10
+	cat.Segments = cat.Segments[1:]
+	writeCatalog(t, dir, cat)
+
+	c := NewDirCursor(dir)
+	var got []event.Event
+	_, n, err := c.Poll(func(e event.Event, epoch int, v vclock.Vector) error {
+		if !v.Equal(stamps[e.Index]) {
+			t.Fatalf("stamp mismatch at %d", e.Index)
+		}
+		got = append(got, e)
+		return nil
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("poll: n=%d err=%v", n, err)
+	}
+	if c.Skipped() != 10 {
+		t.Fatalf("skipped %d, want 10", c.Skipped())
+	}
+	if got[0] != events[10] {
+		t.Fatalf("first delivered %v, want %v", got[0], events[10])
+	}
+}

@@ -165,6 +165,10 @@ func (t *Tracker) Close() error {
 			err = fmt.Errorf("track: closing: %w", serr)
 		}
 	}
+	// The final seal made the whole run replayable without a barrier; wake
+	// monitors so they evaluate the last records. Sealed-history reads keep
+	// working on a closed tracker, so monitors drain normally.
+	t.notifyMonitors()
 	return err
 }
 

@@ -319,6 +319,10 @@ func (t *Tracker) afterSeal() {
 	if !published {
 		t.publishCatalog()
 	}
+	// Newly sealed records are now replayable without a barrier; wake the
+	// registered monitors (non-blocking — a busy monitor picks the new
+	// segments up on its next pass anyway).
+	t.notifyMonitors()
 }
 
 // maybeAutoSeal runs after a commit has released every lock: when the
@@ -448,13 +452,27 @@ type StampSink interface {
 // events below the freeze point, none after, each with the epoch it was
 // recorded in.
 func (t *Tracker) Stream(sink StampSink) error {
+	return t.StreamFrom(0, sink)
+}
+
+// StreamFrom is Stream starting at global trace index from: records below
+// from are skipped, records from it on are delivered with the same
+// barrier discipline (sealed history and frozen blocks replay without the
+// barrier; only the freeze itself stops the world). A from below the
+// retention floor is clamped to it. Monitors use StreamFrom to consume the
+// unsealed tail on demand without re-reading history they have already
+// evaluated.
+func (t *Tracker) StreamFrom(from int, sink StampSink) error {
 	// Phase 1: sealed history, no barrier, starting at the retention floor
 	// (events below it were retired by a RetainPolicy pass and are no
 	// longer replayable). The catch-up rounds are bounded: under sustained
 	// auto-sealing a streamer on slow storage could otherwise chase freshly
 	// sealed segments forever; whatever remains after the last round is
 	// picked up by the freeze, which guarantees termination.
-	delivered := t.RetainedEvents()
+	delivered := from
+	if r := t.RetainedEvents(); delivered < r {
+		delivered = r
+	}
 	for round := 0; round < 4; round++ {
 		n, err := t.replaySealed(sink, delivered, -1)
 		if err != nil {
@@ -491,9 +509,13 @@ func (t *Tracker) Stream(sink StampSink) error {
 			return fmt.Errorf("track: sealed history unreadable from event %d (want %d): %w",
 				n, sealedEnd, errSegmentVanished)
 		}
+		delivered = n
 	}
 	for _, b := range blocks {
 		for i, e := range b.ev {
+			if e.Index < delivered {
+				continue // below from: already consumed by the caller
+			}
 			if err := sink.ConsumeStamp(e, b.epoch, b.stamps[i]); err != nil {
 				return err
 			}

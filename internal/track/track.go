@@ -168,6 +168,44 @@
 // starts at the recorded retention floor. A Shipper (ship.go) mirrors the
 // published history into another directory behind a durable cursor, and
 // the mirror is itself a valid run directory.
+//
+// # Online detection
+//
+// A Monitor (monitor.go) is the analyses of internal/detect,
+// internal/predicate, internal/hb and internal/cut run incrementally over
+// the live stream, registered with Tracker.NewMonitor. Its consumption
+// model mirrors the two-tier streaming above:
+//
+//   - Sealed segments are evaluated as they are published. Every seal
+//     wakes the monitor's goroutine with a non-blocking notification
+//     after the seal barrier has lifted, and the monitor replays the new
+//     records through the same lock-free sealed-replay path Stream uses —
+//     commits, seals and compactions proceed while it evaluates, so a
+//     monitor never extends a stop-the-world window.
+//   - The frozen tail is evaluated on demand: Monitor.Sync catches the
+//     monitor up to the exact present, paying the same short freeze
+//     barrier a Snapshot takes, once, for the unsealed suffix only.
+//
+// Evaluation is windowed by MonitorPolicy.Window. The census and
+// happened-before index compare each new event against the last Window
+// stamps and count what slid away as skipped (exact when the window is
+// unbounded); predicate watches explore the lattice of consistent cuts
+// that extend the window's fold — every witness is a real consistent
+// state of the full run (soundness), but states that needed an evicted
+// event to still be pending are out of reach (bounded completeness). The
+// schedule-sensitive pair scanner is exact with no window at all: the
+// trace order delivered by the stream is a linearization of
+// happened-before, so adjacency on each object resolves in O(objects +
+// threads) state. Epochs need no special handling by callers — a Compact
+// barrier orders everything across it, and the monitor folds its
+// predicate window and resets per-object adjacency at each epoch
+// boundary it consumes.
+//
+// Detections (schedule-sensitive pairs, order-watch violations, predicate
+// witnesses) carry their epoch and global trace index as provenance. The
+// first order violation arms an online recovery line — the maximal
+// consistent cut excluding the violation's causal future — maintained
+// from then on in O(threads) per record.
 package track
 
 import (
@@ -380,6 +418,14 @@ type Tracker struct {
 	// or an I/O failure sealing, spilling or re-reading a segment.
 	errMu    sync.Mutex
 	firstErr error
+
+	// monitors are the registered online detectors (monitor.go). monMu
+	// guards the slice only; each Monitor serializes its own consumption.
+	// Seal and Close wake them with a non-blocking send after their
+	// barriers have lifted, so monitors never extend a stop-the-world
+	// window.
+	monMu    sync.Mutex
+	monitors []*Monitor
 }
 
 // Option configures a Tracker.
