@@ -165,10 +165,17 @@ func main() {
 		return
 	}
 	// recover -dir is durable-run recovery (reopen a spill directory); the
-	// trace-based form below cuts a recovery line instead.
+	// trace-based form below cuts a recovery line instead. Recovery that had
+	// to quarantine damaged files still succeeds — the run is usable — but
+	// exits with a distinct code so scripts can tell "clean" from "repaired
+	// with losses set aside".
 	if cmd == "recover" && *dir != "" {
-		if err := recoverDir(os.Stdout, *dir); err != nil {
+		quarantined, err := recoverDir(os.Stdout, *dir)
+		if err != nil {
 			fatal(err)
+		}
+		if quarantined > 0 {
+			os.Exit(exitQuarantined)
 		}
 		return
 	}
@@ -398,7 +405,7 @@ func detectLive(w io.Writer, dir string, follow bool, window int, orderSpec stri
 		if !follow {
 			break
 		}
-		time.Sleep(200 * time.Millisecond)
+		time.Sleep(cur.NextDelay())
 	}
 	if orderSpec != "" && firstObj < 0 {
 		return fmt.Errorf("-order: objects %q,%q never appeared in the catalog's name table", firstName, secondName)
@@ -455,20 +462,26 @@ func recover_(w io.Writer, tr *event.Trace, fail int, b vclock.Backend) error {
 	return nil
 }
 
+// exitQuarantined is `mvc recover -dir`'s exit code when recovery succeeded
+// but set damaged files aside: distinct from 0 (clean) and 1 (failure) so
+// operators can script on "repaired, inspect the quarantine".
+const exitQuarantined = 3
+
 // recoverDir reopens a spill directory through the durable-run recovery path
 // (track.Open) and reports what came back: the resumed epoch and trace index,
 // the retention floor, quarantined files, and overall health. The reopened
 // run is then closed cleanly, so the directory is left with a repaired,
-// Closed catalog generation.
-func recoverDir(w io.Writer, dir string) error {
+// Closed catalog generation. It returns how many files recovery quarantined;
+// main turns a non-zero count into exitQuarantined.
+func recoverDir(w io.Writer, dir string) (quarantined int, err error) {
 	t, err := track.Open(dir)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	ri := t.Recovery()
 	if ri == nil {
 		t.Close()
-		return fmt.Errorf("%s: no recovery performed (in-memory tracker?)", dir)
+		return 0, fmt.Errorf("%s: no recovery performed (in-memory tracker?)", dir)
 	}
 	fmt.Fprintf(w, "recovered %s\n", dir)
 	fmt.Fprintf(w, "  events:    %d sealed; committing resumes at index %d\n", ri.Events, ri.Events)
@@ -495,10 +508,10 @@ func recoverDir(w io.Writer, dir string) error {
 		fmt.Fprintln(w, "health: ok")
 	}
 	if err := t.Close(); err != nil {
-		return err
+		return len(ri.Quarantined), err
 	}
 	fmt.Fprintln(w, "closed cleanly; catalog republished")
-	return nil
+	return len(ri.Quarantined), nil
 }
 
 // validate proves every clock scheme correct on the given trace — handy

@@ -494,8 +494,12 @@ func TestRecoverDirCommand(t *testing.T) {
 	// Simulated crash: the tracker is abandoned without Close.
 
 	var buf bytes.Buffer
-	if err := recoverDir(&buf, spill); err != nil {
+	quarantined, err := recoverDir(&buf, spill)
+	if err != nil {
 		t.Fatalf("recoverDir: %v\n%s", err, buf.String())
+	}
+	if quarantined != 0 {
+		t.Errorf("clean crash recovery quarantined %d files:\n%s", quarantined, buf.String())
 	}
 	out := buf.String()
 	for _, want := range []string{
@@ -545,8 +549,43 @@ func TestRecoverDirCommand(t *testing.T) {
 	}
 
 	// recoverDir on a directory that was never a run.
-	if err := recoverDir(&buf, filepath.Join(dir, "mirror")); err != nil {
+	if _, err := recoverDir(&buf, filepath.Join(dir, "mirror")); err != nil {
 		t.Errorf("recover -dir on a shipped mirror: %v", err)
+	}
+}
+
+// TestRecoverDirQuarantined plants an orphan spill file in a crashed run and
+// checks recoverDir reports it and returns a non-zero quarantine count — the
+// signal main turns into exitQuarantined.
+func TestRecoverDirQuarantined(t *testing.T) {
+	spill := t.TempDir()
+	tr, err := track.Open(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, ob := tr.NewThread("t0"), tr.NewObject("o0")
+	for i := 0; i < 4; i++ {
+		th.Write(ob, nil)
+	}
+	if err := tr.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash (no Close), plus an orphan segment file no catalog
+	// generation ever listed — recovery must set it aside, not adopt it.
+	if err := os.WriteFile(filepath.Join(spill, "zzz-orphan.mvcseg"), []byte("garbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	quarantined, err := recoverDir(&buf, spill)
+	if err != nil {
+		t.Fatalf("recoverDir: %v\n%s", err, buf.String())
+	}
+	if quarantined == 0 {
+		t.Errorf("orphan segment not counted as quarantined:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "quarantined:") {
+		t.Errorf("quarantine list missing from the report:\n%s", buf.String())
 	}
 }
 

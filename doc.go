@@ -161,6 +161,44 @@
 // history to another directory with a durable cursor (ConsumeUpTo), and the
 // mirror is itself a valid run directory: Open replays it byte-identically.
 //
+// # Failure model and degraded operation
+//
+// Every durable operation — sealing a segment, publishing the catalog,
+// compaction, retention, shipping, recovery — runs through a small
+// filesystem interface (Store.FS; the real filesystem by default), so the
+// whole failure surface is injectable and deterministically tested: an
+// exhaustive sweep crashes the store at every single durable operation
+// index and proves recovery at each one (internal/track/crashtest). The
+// commit hot path never touches the filesystem, so tracking performance is
+// independent of all of this.
+//
+// Failures are handled in three tiers:
+//
+//   - Transient errors (an EIO blip, a failed fsync or rename) retry a few
+//     times with bounded backoff. The retried unit is always a whole
+//     idempotent cycle that rewrites its data from memory — never a bare
+//     fsync retry, which is unsound on filesystems that drop dirty pages on
+//     fsync failure.
+//   - Persistent failures (ENOSPC, permissions, a vanished directory)
+//     escalate immediately: the tracker enters degraded mode. Commits,
+//     snapshots, streams, monitors and detection all keep working, fully in
+//     memory; auto-sealing disarms (one failed barrier, not one per
+//     commit), nothing new reaches disk, and the unsealed suffix grows
+//     without bound — the price of staying live. Tracker.Health reports the
+//     state (and since when); the published catalog carries the same facts
+//     for external observers.
+//   - Recovery: while degraded, the tracker probes the spill directory with
+//     a throwaway durable write at most once per SpillPolicy.Probe
+//     (default one second), from the commit path, so an idle tracker does
+//     not spin. A successful probe re-arms sealing; the next seal flushes
+//     the accumulated tail, clears degraded mode, and publishes a healthy
+//     catalog generation.
+//
+// What degraded mode never does: lose committed history silently (it is all
+// in memory and seals as soon as the disk returns), block or fail commits,
+// or corrupt the directory — everything on disk stays exactly the
+// crash-consistent state the last successful publication left.
+//
 // # Choosing a backend
 //
 // The mixed clock minimizes how many components a timestamp carries; the

@@ -173,9 +173,16 @@ type Catalog struct {
 	// its first error (clock misuse or segment I/O — see Tracker.Err).
 	Health string `json:"health,omitempty"`
 	// AutoSealDisarmed reports that automatic sealing hit a spill I/O
-	// failure and stopped; history accumulates in memory until an explicit
-	// Seal or Compact succeeds and re-arms it.
+	// failure and stopped; history accumulates in memory until the
+	// tracker's periodic disk probe, an explicit Seal, or a Compact
+	// succeeds and re-arms it.
 	AutoSealDisarmed bool `json:"auto_seal_disarmed,omitempty"`
+	// DegradedSinceUnix is when (Unix seconds) a persistent spill failure
+	// flipped the publishing tracker into degraded mode — tracking
+	// continues fully in memory, nothing new reaches disk. Zero while
+	// healthy; cleared by the first successful seal after the disk
+	// recovers.
+	DegradedSinceUnix int64 `json:"degraded_since_unix,omitempty"`
 	// RetainedEvents is the retention floor: events below it were retired
 	// (deleted or archived) by a RetainPolicy pass, so segments cover
 	// [RetainedEvents, SealedEvents) instead of starting at zero. Retired
@@ -205,6 +212,9 @@ func (c *Catalog) Validate() error {
 	}
 	if c.RetainedEvents < 0 || c.RetainedEvents > c.SealedEvents {
 		return fmt.Errorf("tlog: catalog retention floor %d outside [0,%d]", c.RetainedEvents, c.SealedEvents)
+	}
+	if c.DegradedSinceUnix < 0 {
+		return fmt.Errorf("tlog: catalog degraded_since_unix %d is negative", c.DegradedSinceUnix)
 	}
 	next, epoch := c.RetainedEvents, 0
 	for i, sg := range c.Segments {

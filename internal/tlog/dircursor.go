@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"os"
+	"math/rand/v2"
 	"path/filepath"
+	"time"
 
 	"mixedclock/internal/event"
 	"mixedclock/internal/vclock"
+	"mixedclock/internal/vfs"
 )
 
 // DirCursor follows the sealed history of a spill directory from outside
@@ -28,20 +30,57 @@ import (
 // never delivered — the in-memory tail is visible only to in-process
 // monitors.
 type DirCursor struct {
+	// FS is the filesystem the directory is read through; nil means vfs.OS.
+	FS vfs.FS
+
 	dir  string
 	next int
 	gen  int64
 	// skipped accumulates records lost to retention (floor passed us).
 	skipped int
+	// idle counts consecutive polls that made no progress — NextDelay's
+	// backoff exponent, reset whenever records arrive or the catalog
+	// generation advances.
+	idle int
 }
 
 // dirCursorRetries bounds catalog re-reads when segment files vanish under
 // a concurrent compaction/retention pass.
 const dirCursorRetries = 3
 
+// Follow-mode backoff bounds: an idle directory is polled at most every
+// dirCursorMinDelay at first, decaying exponentially to dirCursorMaxDelay,
+// so attaching to a quiet run costs a handful of stats per second, not a
+// hot loop.
+const (
+	dirCursorMinDelay = 50 * time.Millisecond
+	dirCursorMaxDelay = 2 * time.Second
+)
+
 // NewDirCursor returns a cursor positioned at trace index 0 of dir's run.
 func NewDirCursor(dir string) *DirCursor {
 	return &DirCursor{dir: dir, gen: -1}
+}
+
+// fsys returns the cursor's filesystem, defaulting to the real one.
+func (c *DirCursor) fsys() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS
+}
+
+// NextDelay returns how long a follower should sleep before the next Poll:
+// bounded exponential backoff with jitter, growing while polls deliver
+// nothing and the catalog generation stands still, snapping back to the
+// minimum the moment anything happens. Call it after each Poll.
+func (c *DirCursor) NextDelay() time.Duration {
+	d := dirCursorMinDelay << c.idle
+	if d > dirCursorMaxDelay || d <= 0 {
+		d = dirCursorMaxDelay
+	}
+	// ±25% jitter keeps a fleet of followers from polling in lockstep.
+	return d - d/4 + rand.N(d/2)
 }
 
 // Next returns the global trace index of the next undelivered record.
@@ -63,6 +102,7 @@ func (c *DirCursor) Poll(fn func(e event.Event, epoch int, v vclock.Vector) erro
 		cat, err := c.readCatalog()
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
+				c.notePoll(delivered, c.gen)
 				return nil, delivered, nil
 			}
 			return nil, delivered, err
@@ -74,6 +114,7 @@ func (c *DirCursor) Poll(fn func(e event.Event, epoch int, v vclock.Vector) erro
 		n, err := c.replay(cat, fn)
 		delivered += n
 		if err == nil {
+			c.notePoll(delivered, cat.Generation)
 			c.gen = cat.Generation
 			return cat, delivered, nil
 		}
@@ -83,6 +124,16 @@ func (c *DirCursor) Poll(fn func(e event.Event, epoch int, v vclock.Vector) erro
 			continue
 		}
 		return cat, delivered, err
+	}
+}
+
+// notePoll feeds NextDelay's backoff: progress — delivered records or an
+// advanced catalog generation — resets it, a fruitless poll deepens it.
+func (c *DirCursor) notePoll(delivered int, gen int64) {
+	if delivered > 0 || gen != c.gen {
+		c.idle = 0
+	} else if c.idle < 31 {
+		c.idle++
 	}
 }
 
@@ -100,7 +151,7 @@ func (c *DirCursor) readCatalog() (*Catalog, error) {
 }
 
 func (c *DirCursor) readCatalogFile(name string) (*Catalog, error) {
-	f, err := os.Open(filepath.Join(c.dir, name))
+	f, err := c.fsys().Open(filepath.Join(c.dir, name))
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +187,7 @@ func (c *DirCursor) replay(cat *Catalog, fn func(e event.Event, epoch int, v vcl
 // replaySegment opens one spill file and delivers its records from c.next
 // on, advancing the cursor per record.
 func (c *DirCursor) replaySegment(seg CatalogSegment, fn func(e event.Event, epoch int, v vclock.Vector) error) (int, error) {
-	f, err := os.Open(filepath.Join(c.dir, filepath.FromSlash(seg.Path)))
+	f, err := c.fsys().Open(filepath.Join(c.dir, filepath.FromSlash(seg.Path)))
 	if err != nil {
 		return 0, err
 	}

@@ -31,10 +31,11 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"time"
 
 	"mixedclock/internal/tlog"
+	"mixedclock/internal/vfs"
 )
 
 // CompactPolicy is the tiered-compaction knob set (see
@@ -129,7 +130,7 @@ func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
 		if err != nil {
 			for _, m := range merged[:gi] {
 				if m != nil && m.file != "" {
-					os.Remove(m.path())
+					t.fs.Remove(m.path())
 				}
 			}
 			return 0, fmt.Errorf("track: compacting segments: %w", err)
@@ -158,7 +159,7 @@ func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
 	for _, g := range plan {
 		for _, sg := range snap[g[0]:g[1]] {
 			if sg.file != "" {
-				os.Remove(sg.path())
+				t.fs.Remove(sg.path())
 			}
 			eliminated++
 		}
@@ -199,8 +200,8 @@ func (t *Tracker) mergeRun(run []*segment) (*segment, error) {
 	}
 	// Write-then-rename (with an fsync) so a crash mid-compaction never
 	// leaves a spill file that parses as a truncated segment.
-	out.dir, out.file = t.spill.Dir, tlog.SegmentFileName(meta)
-	if err := writeFileSync(out.dir, out.file, data); err != nil {
+	out.dir, out.file, out.fs = t.spill.Dir, tlog.SegmentFileName(meta), t.fs
+	if err := writeFileSync(t.fs, out.dir, out.file, data); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -247,6 +248,9 @@ func (t *Tracker) Catalog() tlog.Catalog {
 		Segments:         segs,
 		Resume:           resume,
 	}
+	if ns := t.degradedSince.Load(); ns != 0 {
+		c.DegradedSinceUnix = ns / int64(time.Second)
+	}
 	if err := t.Err(); err != nil {
 		c.Health = err.Error()
 	}
@@ -263,7 +267,7 @@ func (t *Tracker) publishCatalog() {
 	t.catMu.Lock()
 	defer t.catMu.Unlock()
 	c := t.Catalog()
-	if err := writeCatalogFile(t.spill.Dir, &c); err != nil {
+	if err := writeCatalogFile(t.fs, t.spill.Dir, &c); err != nil {
 		t.noteErr(fmt.Errorf("track: publishing catalog: %w", err))
 	}
 }
@@ -271,26 +275,33 @@ func (t *Tracker) publishCatalog() {
 // CatalogFileName is the catalog's file name inside a spill directory.
 const CatalogFileName = tlog.CatalogFileName
 
-func writeCatalogFile(dir string, c *tlog.Catalog) error {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+// writeCatalogFile publishes one catalog generation (temp file, fsync,
+// rename), retrying transient failures as one whole cycle like every other
+// durable write.
+func writeCatalogFile(fsys vfs.FS, dir string, c *tlog.Catalog) error {
+	return retryTransient(func() error { return writeCatalogFileOnce(fsys, dir, c) })
+}
+
+func writeCatalogFileOnce(fsys vfs.FS, dir string, c *tlog.Catalog) error {
+	if err := fsys.MkdirAll(dir); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".catalog-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, ".catalog-*.tmp")
 	if err != nil {
 		return err
 	}
 	if err := tlog.EncodeCatalog(tmp, c); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	// Keep the outgoing generation as catalog.json.prev before the rename
@@ -299,8 +310,8 @@ func writeCatalogFile(dir string, c *tlog.Catalog) error {
 	// then falls back to the prev copy. Best effort — a missing or stale
 	// prev only degrades the fallback, never the catalog itself.
 	cur := filepath.Join(dir, CatalogFileName)
-	if data, rerr := os.ReadFile(cur); rerr == nil {
-		_ = os.WriteFile(filepath.Join(dir, tlog.CatalogPrevFileName), data, 0o666)
+	if data, rerr := vfs.ReadFile(fsys, cur); rerr == nil {
+		_ = vfs.WriteFile(fsys, filepath.Join(dir, tlog.CatalogPrevFileName), data)
 	}
-	return os.Rename(tmp.Name(), cur)
+	return fsys.Rename(tmp.Name(), cur)
 }

@@ -38,7 +38,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
@@ -48,6 +47,7 @@ import (
 	"mixedclock/internal/event"
 	"mixedclock/internal/tlog"
 	"mixedclock/internal/vclock"
+	"mixedclock/internal/vfs"
 )
 
 // RecoveryInfo reports what Open reconstructed from its directory.
@@ -87,25 +87,25 @@ func (t *Tracker) recoverDir(o options) error {
 	info := &RecoveryInfo{}
 	t.recovery = info
 
-	// A crash mid-write leaves at most stray temp files; sweep them first so
-	// they never accumulate.
-	for _, pat := range []string{".seg-*.tmp", ".catalog-*.tmp"} {
-		if ms, err := filepath.Glob(filepath.Join(dir, pat)); err == nil {
+	// A crash mid-write leaves at most stray temp files (spill, catalog, or
+	// degraded-mode probe); sweep them first so they never accumulate.
+	for _, pat := range []string{".seg-*.tmp", ".catalog-*.tmp", ".probe-*.tmp"} {
+		if ms, err := vfs.Glob(t.fs, dir, pat); err == nil {
 			for _, m := range ms {
-				os.Remove(m)
+				t.fs.Remove(m)
 			}
 		}
 	}
 
-	cat, usedPrev, quarantined := loadCatalogForRecovery(dir)
+	cat, usedPrev, quarantined := loadCatalogForRecovery(t.fs, dir)
 	info.UsedPrevCatalog = usedPrev
 	if cat == nil {
 		// No usable catalog. Any segment file present is history we cannot
 		// anchor (no index ranges, no hashes, no epoch bookkeeping): set it
 		// aside rather than guess, and start fresh.
-		if ms, err := filepath.Glob(filepath.Join(dir, "*.mvcseg")); err == nil {
+		if ms, err := vfs.Glob(t.fs, dir, "*.mvcseg"); err == nil {
 			for _, m := range ms {
-				if q := quarantineFile(m); q != "" {
+				if q := quarantineFile(t.fs, m); q != "" {
 					quarantined = append(quarantined, q)
 				}
 			}
@@ -141,7 +141,7 @@ func (t *Tracker) recoverDir(o options) error {
 	damaged := false
 	for i := range cat.Segments {
 		entry := cat.Segments[i]
-		err := verifySegment(dir, entry, func(e event.Event, v vclock.Vector) {
+		err := verifySegment(t.fs, dir, entry, func(e event.Event, v vclock.Vector) {
 			ti, oi := int(e.Thread), int(e.Object)
 			if ti > maxThread {
 				maxThread = ti
@@ -172,7 +172,7 @@ func (t *Tracker) recoverDir(o options) error {
 			if entry.Path == "" {
 				continue
 			}
-			if q := quarantineFile(filepath.Join(dir, entry.Path)); q != "" {
+			if q := quarantineFile(t.fs, filepath.Join(dir, entry.Path)); q != "" {
 				quarantined = append(quarantined, q)
 			}
 		}
@@ -185,12 +185,12 @@ func (t *Tracker) recoverDir(o options) error {
 	for _, entry := range cat.Segments[:goodN] {
 		listed[entry.Path] = true
 	}
-	if ms, err := filepath.Glob(filepath.Join(dir, "*.mvcseg")); err == nil {
+	if ms, err := vfs.Glob(t.fs, dir, "*.mvcseg"); err == nil {
 		for _, m := range ms {
 			if listed[filepath.Base(m)] {
 				continue
 			}
-			if q := quarantineFile(m); q != "" {
+			if q := quarantineFile(t.fs, m); q != "" {
 				quarantined = append(quarantined, q)
 			}
 		}
@@ -348,6 +348,7 @@ func (t *Tracker) recoverDir(o options) error {
 			meta: tlog.SegmentMeta{Epoch: entry.Epoch, FirstIndex: entry.FirstIndex, Count: entry.Events},
 			dir:  dir,
 			file: entry.Path,
+			fs:   t.fs,
 			size: entry.Bytes,
 			sha:  entry.SHA256,
 		}
@@ -384,16 +385,16 @@ func (t *Tracker) recoverDir(o options) error {
 	t.catGen.Add(1)
 	t.publishCatalog()
 	info.Generation = t.catGen.Load()
-	_ = syncDir(dir)
+	_ = syncDir(t.fs, dir)
 	return nil
 }
 
 // loadCatalogForRecovery reads dir's catalog, quarantining a torn
 // catalog.json and falling back to the catalog.json.prev copy. A nil catalog
 // means no usable one exists (fresh directory, or both copies torn).
-func loadCatalogForRecovery(dir string) (c *tlog.Catalog, usedPrev bool, quarantined []string) {
+func loadCatalogForRecovery(fsys vfs.FS, dir string) (c *tlog.Catalog, usedPrev bool, quarantined []string) {
 	tryRead := func(name string) (*tlog.Catalog, bool) {
-		f, err := os.Open(filepath.Join(dir, name))
+		f, err := fsys.Open(filepath.Join(dir, name))
 		if err != nil {
 			return nil, false
 		}
@@ -409,7 +410,7 @@ func loadCatalogForRecovery(dir string) (c *tlog.Catalog, usedPrev bool, quarant
 		return c, false, nil
 	}
 	if exists {
-		if q := quarantineFile(filepath.Join(dir, tlog.CatalogFileName)); q != "" {
+		if q := quarantineFile(fsys, filepath.Join(dir, tlog.CatalogFileName)); q != "" {
 			quarantined = append(quarantined, q)
 		}
 	}
@@ -423,9 +424,9 @@ func loadCatalogForRecovery(dir string) (c *tlog.Catalog, usedPrev bool, quarant
 // the resulting base name ("" when the rename failed — the file then stays
 // where it is, still ignored by glob-based readers only if a later pass
 // succeeds, so callers report the failure through health).
-func quarantineFile(path string) string {
+func quarantineFile(fsys vfs.FS, path string) string {
 	q := path + tlog.QuarantineSuffix
-	if err := os.Rename(path, q); err != nil {
+	if err := fsys.Rename(path, q); err != nil {
 		return ""
 	}
 	return filepath.Base(q)
@@ -435,11 +436,11 @@ func quarantineFile(path string) string {
 // the catalog, content hash, header against the catalog entry, and a full
 // decode — calling visit for every record. Any disagreement is an error; the
 // caller quarantines.
-func verifySegment(dir string, entry tlog.CatalogSegment, visit func(event.Event, vclock.Vector)) error {
+func verifySegment(fsys vfs.FS, dir string, entry tlog.CatalogSegment, visit func(event.Event, vclock.Vector)) error {
 	if entry.Path == "" {
 		return fmt.Errorf("no spill file recorded")
 	}
-	data, err := os.ReadFile(filepath.Join(dir, entry.Path))
+	data, err := vfs.ReadFile(fsys, filepath.Join(dir, entry.Path))
 	if err != nil {
 		return err
 	}

@@ -17,9 +17,10 @@ package track
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"time"
+
+	"mixedclock/internal/vfs"
 )
 
 // RetainPolicy bounds how much sealed history a tracker keeps. The zero
@@ -127,10 +128,10 @@ func (t *Tracker) RetainSegments(p RetainPolicy) (retired int, err error) {
 			continue
 		}
 		if p.Archive != "" {
-			if aerr := archiveFile(sg.path(), p.Archive, sg.file); aerr != nil && err == nil {
+			if aerr := archiveFile(t.fs, sg.path(), p.Archive, sg.file); aerr != nil && err == nil {
 				err = fmt.Errorf("track: archiving %s: %w", sg.file, aerr)
 			}
-		} else if rerr := os.Remove(sg.path()); rerr != nil && err == nil {
+		} else if rerr := t.fs.Remove(sg.path()); rerr != nil && err == nil {
 			err = fmt.Errorf("track: retiring %s: %w", sg.file, rerr)
 		}
 	}
@@ -139,31 +140,31 @@ func (t *Tracker) RetainSegments(p RetainPolicy) (retired int, err error) {
 
 // archiveFile moves src into dir/name, falling back to copy-then-remove
 // when the rename crosses filesystems.
-func archiveFile(src, dir, name string) error {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+func archiveFile(fsys vfs.FS, src, dir, name string) error {
+	if err := fsys.MkdirAll(dir); err != nil {
 		return err
 	}
 	dst := filepath.Join(dir, name)
-	if err := os.Rename(src, dst); err == nil {
+	if err := fsys.Rename(src, dst); err == nil {
 		return nil
 	}
-	in, err := os.Open(src)
+	in, err := fsys.Open(src)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	out, err := os.Create(dst)
+	out, err := fsys.Create(dst)
 	if err != nil {
 		return err
 	}
 	if _, err := io.Copy(out, in); err != nil {
 		out.Close()
-		os.Remove(dst)
+		fsys.Remove(dst)
 		return err
 	}
 	if err := out.Close(); err != nil {
-		os.Remove(dst)
+		fsys.Remove(dst)
 		return err
 	}
-	return os.Remove(src)
+	return fsys.Remove(src)
 }

@@ -14,10 +14,11 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 
 	"mixedclock/internal/tlog"
+	"mixedclock/internal/vfs"
 )
 
 // ErrCatalogBehind reports that the source catalog has not yet reached the
@@ -39,6 +40,17 @@ type Shipper struct {
 	// holds the copied segments plus the catalog document that listed them,
 	// so Dst is itself a valid directory for track.Open or offline tools.
 	Dst string
+	// FS is the filesystem both directories are accessed through; nil means
+	// vfs.OS. Fault-injection tests substitute vfs.Faulty.
+	FS vfs.FS
+}
+
+// fsys returns the shipper's filesystem, defaulting to the real one.
+func (s *Shipper) fsys() vfs.FS {
+	if s.FS != nil {
+		return s.FS
+	}
+	return vfs.OS
 }
 
 // ShipReport describes one ConsumeUpTo pass.
@@ -68,7 +80,8 @@ func (s *Shipper) ConsumeUpTo(generation int64) (*ShipReport, error) {
 	if s.Src == "" || s.Dst == "" {
 		return nil, fmt.Errorf("track: shipper needs both Src and Dst")
 	}
-	f, err := os.Open(filepath.Join(s.Src, tlog.CatalogFileName))
+	fsys := s.fsys()
+	f, err := fsys.Open(filepath.Join(s.Src, tlog.CatalogFileName))
 	if err != nil {
 		return nil, fmt.Errorf("track: shipping: %w", err)
 	}
@@ -89,7 +102,7 @@ func (s *Shipper) ConsumeUpTo(generation int64) (*ShipReport, error) {
 		return nil, fmt.Errorf("track: shipping: cursor at generation %d is ahead of catalog generation %d",
 			cursor.Generation, c.Generation)
 	}
-	if err := os.MkdirAll(s.Dst, 0o777); err != nil {
+	if err := fsys.MkdirAll(s.Dst); err != nil {
 		return nil, fmt.Errorf("track: shipping: %w", err)
 	}
 	rep := &ShipReport{
@@ -106,11 +119,11 @@ func (s *Shipper) ConsumeUpTo(generation int64) (*ShipReport, error) {
 		// Below the cursor and already mirrored: compaction may have merged
 		// the covering files since, so only the name check is meaningful.
 		if entry.FirstIndex+entry.Events <= cursor.ShippedEvents {
-			if _, err := os.Stat(dst); err == nil {
+			if _, err := fsys.Stat(dst); err == nil {
 				continue
 			}
 		}
-		data, err := os.ReadFile(filepath.Join(s.Src, entry.Path))
+		data, err := vfs.ReadFile(fsys, filepath.Join(s.Src, entry.Path))
 		if err != nil {
 			return nil, fmt.Errorf("track: shipping %s: %w", entry.Path, err)
 		}
@@ -124,7 +137,7 @@ func (s *Shipper) ConsumeUpTo(generation int64) (*ShipReport, error) {
 				return nil, fmt.Errorf("track: shipping %s: content hash mismatch", entry.Path)
 			}
 		}
-		if err := writeFileSync(s.Dst, entry.Path, data); err != nil {
+		if err := writeFileSync(fsys, s.Dst, entry.Path, data); err != nil {
 			return nil, fmt.Errorf("track: shipping %s: %w", entry.Path, err)
 		}
 		rep.Copied = append(rep.Copied, entry.Path)
@@ -136,7 +149,7 @@ func (s *Shipper) ConsumeUpTo(generation int64) (*ShipReport, error) {
 	if err := tlog.EncodeCatalog(&doc, c); err != nil {
 		return nil, fmt.Errorf("track: shipping catalog: %w", err)
 	}
-	if err := writeFileSync(s.Dst, tlog.CatalogFileName, doc.Bytes()); err != nil {
+	if err := writeFileSync(fsys, s.Dst, tlog.CatalogFileName, doc.Bytes()); err != nil {
 		return nil, fmt.Errorf("track: shipping catalog: %w", err)
 	}
 	cursor = tlog.ShipCursor{
@@ -148,7 +161,7 @@ func (s *Shipper) ConsumeUpTo(generation int64) (*ShipReport, error) {
 	if err := tlog.EncodeShipCursor(&enc, &cursor); err != nil {
 		return nil, fmt.Errorf("track: shipping: %w", err)
 	}
-	if err := writeFileSync(s.Src, tlog.ShipCursorFileName, enc.Bytes()); err != nil {
+	if err := writeFileSync(fsys, s.Src, tlog.ShipCursorFileName, enc.Bytes()); err != nil {
 		return nil, fmt.Errorf("track: shipping: persisting cursor: %w", err)
 	}
 	return rep, nil
@@ -157,9 +170,9 @@ func (s *Shipper) ConsumeUpTo(generation int64) (*ShipReport, error) {
 // readCursor loads the shipper's cursor from Src; a missing file is a zero
 // cursor (nothing shipped yet).
 func (s *Shipper) readCursor() (tlog.ShipCursor, error) {
-	f, err := os.Open(filepath.Join(s.Src, tlog.ShipCursorFileName))
+	f, err := s.fsys().Open(filepath.Join(s.Src, tlog.ShipCursorFileName))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return tlog.ShipCursor{FormatVersion: tlog.ShipCursorFormatVersion}, nil
 		}
 		return tlog.ShipCursor{}, fmt.Errorf("track: shipping: %w", err)

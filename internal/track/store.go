@@ -26,11 +26,11 @@ package track
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"mixedclock/internal/bipartite"
 	"mixedclock/internal/tlog"
+	"mixedclock/internal/vfs"
 )
 
 // Store is the tracker's complete storage configuration: how history is
@@ -41,6 +41,12 @@ type Store struct {
 	Spill   SpillPolicy
 	Compact CompactPolicy
 	Retain  RetainPolicy
+	// FS is the filesystem every durable path (sealing, catalog
+	// publication, recovery, retention) runs on. Nil means vfs.OS — the
+	// real filesystem through a zero-state passthrough. Tests substitute
+	// vfs.Faulty to exercise the store under injected I/O errors and
+	// crash points; the commit hot path never touches it.
+	FS vfs.FS
 }
 
 // Validate checks the store's policies for contradictions a tracker would
@@ -55,6 +61,9 @@ func (s Store) Validate() error {
 	}
 	if s.Spill.SealInterval < 0 {
 		return fmt.Errorf("track: store: SealInterval %v is negative", s.Spill.SealInterval)
+	}
+	if s.Spill.Probe < 0 {
+		return fmt.Errorf("track: store: Probe %v is negative", s.Spill.Probe)
 	}
 	if s.Compact.MaxSegments < 0 {
 		return fmt.Errorf("track: store: MaxSegments %d is negative", s.Compact.MaxSegments)
@@ -161,7 +170,7 @@ func (t *Tracker) Close() error {
 	t.world.Unlock()
 	t.publishCatalog()
 	if t.spill.Dir != "" {
-		if serr := syncDir(t.spill.Dir); serr != nil && err == nil {
+		if serr := syncDir(t.fs, t.spill.Dir); serr != nil && err == nil {
 			err = fmt.Errorf("track: closing: %w", serr)
 		}
 	}
@@ -215,38 +224,42 @@ func (t *Tracker) captureResumeLocked() {
 // writeFileSync atomically creates dir/name with the given contents: the
 // bytes land in a temp file, are fsynced, and are renamed into place. A
 // crash mid-write leaves at most a stray temp file, never a torn name.
-func writeFileSync(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, ".seg-*.tmp")
+// Transient failures retry the whole cycle — the data is rewritten from
+// memory each time, which is what makes retrying a failed fsync sound
+// (faults.go).
+func writeFileSync(fsys vfs.FS, dir, name string, data []byte) error {
+	return retryTransient(func() error { return writeFileSyncOnce(fsys, dir, name, data) })
+}
+
+// writeFileSyncOnce is one temp-write-fsync-rename cycle.
+func writeFileSyncOnce(fsys vfs.FS, dir, name string, data []byte) error {
+	tmp, err := fsys.CreateTemp(dir, ".seg-*.tmp")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	return nil
 }
 
 // syncDir fsyncs a directory, making completed renames within it durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+// Transient failures retry the whole open-fsync cycle.
+func syncDir(fsys vfs.FS, dir string) error {
+	return retryTransient(func() error { return fsys.SyncDir(dir) })
 }

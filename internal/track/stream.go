@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
@@ -15,6 +14,7 @@ import (
 	"mixedclock/internal/event"
 	"mixedclock/internal/tlog"
 	"mixedclock/internal/vclock"
+	"mixedclock/internal/vfs"
 )
 
 // SpillPolicy bounds a long-running tracker's memory: how often the merged
@@ -58,6 +58,12 @@ type SpillPolicy struct {
 	// interval is pending, the boundary stays aligned; otherwise the whole
 	// tail is flushed.
 	SealInterval time.Duration
+	// Probe is how often a tracker in degraded mode (auto-sealing disarmed
+	// by a persistent spill failure) probes the spill directory with a
+	// throwaway durable write; a successful probe re-arms sealing. Zero
+	// means a one-second default. The probe runs on the commit path but
+	// only while degraded, at most once per interval, behind one CAS.
+	Probe time.Duration
 }
 
 // WithSpill sets the tracker's spill policy — sugar for WithStore with only
@@ -102,6 +108,7 @@ type segment struct {
 	data []byte // in-memory container; nil when spilled
 	dir  string // spill directory; "" when in memory
 	file string // spill file name within dir; "" when in memory
+	fs   vfs.FS // filesystem the spill file is read through; nil = vfs.OS
 	size int64
 	sha  string
 	// sealedAt is when the segment was sealed — RetainPolicy.MaxAge's
@@ -122,7 +129,11 @@ func (sg *segment) open() (io.ReadCloser, error) {
 	if sg.file == "" {
 		return io.NopCloser(bytes.NewReader(sg.data)), nil
 	}
-	return os.Open(sg.path())
+	fsys := sg.fs
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	return fsys.Open(sg.path())
 }
 
 // streamFrom replays the segment's records with global index in [from, to)
@@ -236,15 +247,15 @@ func (t *Tracker) sealLocked(upTo int) error {
 	sum := sha256.Sum256(data)
 	sg := &segment{meta: meta, size: int64(len(data)), sha: hex.EncodeToString(sum[:]), sealedAt: time.Now()}
 	if t.spill.Dir != "" {
-		if err := os.MkdirAll(t.spill.Dir, 0o777); err != nil {
+		if err := t.fs.MkdirAll(t.spill.Dir); err != nil {
 			return fmt.Errorf("track: spilling: %w", err)
 		}
-		sg.dir, sg.file = t.spill.Dir, tlog.SegmentFileName(meta)
+		sg.dir, sg.file, sg.fs = t.spill.Dir, tlog.SegmentFileName(meta), t.fs
 		// Write-then-rename with an fsync in between: after the rename
 		// lands, the segment's bytes are durable, and a crash mid-write
 		// leaves at most a stray temp file (ignored and cleaned by Open),
 		// never a torn .mvcseg.
-		if err := writeFileSync(sg.dir, sg.file, data); err != nil {
+		if err := writeFileSync(t.fs, sg.dir, sg.file, data); err != nil {
 			return fmt.Errorf("track: spilling: %w", err)
 		}
 	} else {
@@ -279,8 +290,10 @@ func (t *Tracker) sealLocked(upTo int) error {
 	t.tailStart = upTo
 	t.sealed.Store(int64(upTo))
 	// A successful seal re-arms auto-sealing after an earlier spill failure
-	// (the storage evidently works again) and restarts the wall clock.
+	// (the storage evidently works again), exits degraded mode, and
+	// restarts the wall clock.
 	t.sealBroken.Store(false)
+	t.degradedSince.Store(0)
 	t.lastSealNano.Store(time.Now().UnixNano())
 	return nil
 }
@@ -328,14 +341,20 @@ func (t *Tracker) afterSeal() {
 // maybeAutoSeal runs after a commit has released every lock: when the
 // unsealed suffix has outgrown the policy (by count, by aligned interval,
 // or by wall time), one caller wins the gate and seals. A failure (spill
-// I/O) surfaces through Err and the catalog health field, leaves the
-// history in memory, and DISARMS auto-sealing — otherwise every later
+// I/O that survived the retry discipline) surfaces through Err and the
+// catalog health field, leaves the history in memory, and flips the
+// tracker into degraded mode: auto-sealing DISARMS — otherwise every later
 // commit would retry a stop-the-world barrier plus failing I/O against
-// broken storage, collapsing the hot path. A subsequent explicit Seal or
-// Compact that succeeds re-arms it.
+// broken storage, collapsing the hot path — and commits continue fully in
+// memory. While degraded, a cheap periodic probe (faults.go) re-arms
+// sealing once the disk recovers; an explicit Seal or Compact that
+// succeeds re-arms it too.
 func (t *Tracker) maybeAutoSeal() {
-	if t.sealBroken.Load() ||
-		!t.spill.autoSealDue(t.seq.Load(), t.sealed.Load(), t.lastSealNano.Load()) {
+	if t.sealBroken.Load() {
+		t.maybeProbe()
+		return
+	}
+	if !t.spill.autoSealDue(t.seq.Load(), t.sealed.Load(), t.lastSealNano.Load()) {
 		return
 	}
 	if !t.sealGate.CompareAndSwap(false, true) {
@@ -343,7 +362,7 @@ func (t *Tracker) maybeAutoSeal() {
 	}
 	defer t.sealGate.Store(false)
 	if err := t.autoSeal(); err != nil {
-		t.sealBroken.Store(true)
+		t.enterDegraded()
 		t.noteErr(err)
 		// Broken storage is exactly what a shipper wants to learn promptly;
 		// publishing may fail on the same storage, which noteErr keeps.

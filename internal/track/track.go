@@ -169,6 +169,30 @@
 // published history into another directory behind a durable cursor, and
 // the mirror is itself a valid run directory.
 //
+// # Failure model and degraded operation
+//
+// Every durable path runs through the vfs.FS interface (Store.FS, vfs.OS
+// by default), which makes the whole failure surface deterministically
+// injectable: vfs.Faulty scripts per-operation errors, torn writes, and a
+// crash freeze at any durable-op index, and the crashtest package sweeps
+// every such index exhaustively. The commit hot path never touches the
+// filesystem.
+//
+// Fault handling is tiered (faults.go). Transient errors retry the whole
+// idempotent cycle — temp-write-fsync-rename, or open-dir-fsync — with
+// bounded exponential backoff; a bare fsync is never retried in place,
+// because filesystems may drop dirty pages on fsync failure and a later
+// success would prove nothing ("fsyncgate"). Persistent failures (ENOSPC,
+// permissions, vfs.ErrCrashed) escalate immediately: the tracker enters
+// degraded mode — auto-sealing disarms, commits and every reader continue
+// fully in memory, the unsealed suffix grows unboundedly, and both
+// Tracker.Health and the published catalog (AutoSealDisarmed,
+// DegradedSinceUnix) report the state. While degraded, the commit path
+// probes the spill directory with a throwaway durable write at most once
+// per SpillPolicy.Probe (one-second default); a successful probe re-arms
+// sealing, and the next seal flushes the backlog, clears degraded mode,
+// and publishes a healthy generation.
+//
 // # Online detection
 //
 // A Monitor (monitor.go) is the analyses of internal/detect,
@@ -219,6 +243,7 @@ import (
 	"mixedclock/internal/event"
 	"mixedclock/internal/tlog"
 	"mixedclock/internal/vclock"
+	"mixedclock/internal/vfs"
 )
 
 // Stamped is one recorded operation with its timestamp. Epoch counts the
@@ -369,9 +394,12 @@ type Tracker struct {
 	// contiguous blocks — the last one active (the barrier merges new
 	// records into it), earlier ones frozen by a Stream and therefore
 	// immutable (a replay may be reading them with no lock held).
-	spill     SpillPolicy
-	compact   CompactPolicy
-	retain    RetainPolicy
+	spill   SpillPolicy
+	compact CompactPolicy
+	retain  RetainPolicy
+	// fs is the filesystem every durable path runs on (Store.FS; vfs.OS by
+	// default). Set once at construction, never on the commit hot path.
+	fs        vfs.FS
 	segs      []*segment
 	tailStart int
 	tail      []*tailBlock
@@ -401,6 +429,13 @@ type Tracker struct {
 	sealGate     atomic.Bool
 	sealBroken   atomic.Bool
 	lastSealNano atomic.Int64
+	// degradedSince is when a persistent spill failure flipped the tracker
+	// into degraded mode (unix nanos; 0 = healthy). Set by enterDegraded,
+	// cleared by the next successful seal; surfaced via Health() and the
+	// catalog's DegradedSinceUnix. lastProbeNano rate-limits the disk probe
+	// that re-arms sealing while degraded (faults.go).
+	degradedSince atomic.Int64
+	lastProbeNano atomic.Int64
 	// compactGate admits one segment-compaction pass at a time; catGen
 	// counts segment-list generations (bumped by every seal and every
 	// compaction swap), and catMu serializes catalog.json publications.
@@ -483,6 +518,10 @@ func newTracker(o options) *Tracker {
 		spill:     o.store.Spill,
 		compact:   o.store.Compact,
 		retain:    o.store.Retain,
+		fs:        o.store.FS,
+	}
+	if t.fs == nil {
+		t.fs = vfs.OS
 	}
 	t.lastSealNano.Store(time.Now().UnixNano())
 	t.cover.Store(core.NewSharedCover(core.NewCoverTracker(o.mech)))

@@ -97,6 +97,12 @@ type (
 	// resumed epoch and index, retention floor, quarantined files, whether
 	// the previous run closed cleanly. See Tracker.Recovery.
 	RecoveryInfo = track.RecoveryInfo
+	// Health is a point-in-time report of a tracker's storage health —
+	// whether a persistent spill failure has it running degraded (fully in
+	// memory), since when, and how much history is unsealed. See
+	// Tracker.Health and the "Failure model and degraded operation"
+	// section above.
+	Health = track.Health
 	// Shipper incrementally copies a spill directory's sealed, published
 	// history to a mirror directory, resuming from a durable cursor.
 	Shipper = track.Shipper
