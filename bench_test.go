@@ -453,6 +453,141 @@ func BenchmarkTrackerParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTrackerParallelContended is the contention-heavy shape that
+// motivates batching: many goroutines hammering a FEW shared objects, so the
+// object stripes and the trace-index counter are the bottleneck rather than
+// the clock work. Both commit paths run the identical event sequence — each
+// goroutine works one object for a run of 16 operations, then switches —
+// so do vs batch16 isolates pure synchronization amortization: one stripe
+// hold, one world-shard hold, one cover load and one index fetch per batch
+// instead of per event. read-heavy is 90% reads (shared stripe mode for Do,
+// which batching trades for a briefer exclusive hold), write-heavy 90%
+// writes. CI's regression gate tracks this grid; the batch16 points are the
+// ones the batched-commit work must keep ≥25% under their do twins at 8+
+// goroutines.
+func BenchmarkTrackerParallelContended(b *testing.B) {
+	const objects, run = 2, 16
+	for _, shape := range []string{"write-heavy", "read-heavy"} {
+		for _, goroutines := range []int{8, 32} {
+			for _, commit := range []string{"do", "batch16"} {
+				name := fmt.Sprintf("%s/goroutines=%d/%s", shape, goroutines, commit)
+				b.Run(name, func(b *testing.B) {
+					var tracker *mixedclock.Tracker
+					var objs []*mixedclock.Object
+					var threads []*mixedclock.Thread
+					build := func() {
+						tracker = mixedclock.NewTracker()
+						objs = objs[:0]
+						for i := 0; i < objects; i++ {
+							objs = append(objs, tracker.NewObject("hot"))
+						}
+						threads = threads[:0]
+						for i := 0; i < goroutines; i++ {
+							threads = append(threads, tracker.NewThread("w"))
+						}
+					}
+					// The shared op mix: one run's worth, 90/10 by shape.
+					ops := make([]mixedclock.Op, run)
+					for k := range ops {
+						if (shape == "read-heavy") != (k%10 == 0) {
+							ops[k] = mixedclock.OpRead
+						}
+					}
+					build()
+					events := 0
+					b.ReportAllocs()
+					b.ResetTimer()
+					// Bounded rounds, rebuilding the tracker outside the
+					// timer between them: the unmerged record buffers grow
+					// with every commit (nothing seals here), and an
+					// unbounded b.N-sized run measures GC pressure instead
+					// of the commit paths.
+					for remaining := b.N; remaining > 0; {
+						perG := (1 << 17) / goroutines / run
+						if left := remaining / goroutines / run; left < perG {
+							perG = left
+						}
+						if perG == 0 {
+							perG = 1
+						}
+						var wg sync.WaitGroup
+						for g := 0; g < goroutines; g++ {
+							wg.Add(1)
+							go func(th *mixedclock.Thread, g int) {
+								defer wg.Done()
+								for i := 0; i < perG; i++ {
+									o := objs[(g+i)%objects]
+									if commit == "batch16" {
+										th.DoBatch(o, ops)
+										continue
+									}
+									for k := 0; k < run; k++ {
+										if ops[k] == mixedclock.OpRead {
+											th.Read(o, nil)
+										} else {
+											th.Write(o, nil)
+										}
+									}
+								}
+							}(threads[g], g)
+						}
+						wg.Wait()
+						remaining -= perG * goroutines * run
+						events += perG * goroutines * run
+						if remaining > 0 {
+							b.StopTimer()
+							if err := tracker.Err(); err != nil {
+								b.Fatal(err)
+							}
+							build()
+							b.StartTimer()
+						}
+					}
+					b.StopTimer()
+					if err := tracker.Err(); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "ops/s")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkBatch measures the batched commit path in isolation across batch
+// sizes: ns and bytes per OPERATION (b.N counts operations, not batches).
+// size=1 prices the batch wrapper against plain Do; size=16 and size=256
+// show the amortization curve — the per-batch synchronization and the one
+// []Stamped allocation spread across the batch, with the per-op clock work
+// unchanged. CI's -benchmem gate locks in that B/op shrinks, never grows,
+// as the batch widens.
+func BenchmarkBatch(b *testing.B) {
+	for _, size := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			var th *mixedclock.Thread
+			var o *mixedclock.Object
+			build := func() {
+				tracker := mixedclock.NewTracker()
+				th = tracker.NewThread("w")
+				o = tracker.NewObject("o")
+				th.Write(o, nil) // reveal the edge outside the timer
+			}
+			build()
+			ops := make([]mixedclock.Op, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				if i > 0 && i%(1<<18) < size {
+					b.StopTimer()
+					build()
+					b.StartTimer()
+				}
+				th.DoBatch(o, ops)
+			}
+		})
+	}
+}
+
 // BenchmarkStamp measures the Thread.Do hot path in isolation — ns/op and,
 // with -benchmem, allocs/op and B/op — across clock widths and both
 // backends. The delta stamping pipeline's contract is that both memory

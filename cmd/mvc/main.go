@@ -117,6 +117,7 @@ func main() {
 	orderSpec := fs.String("order", "", "detect -live: FIRST,SECOND object names; flag writes to SECOND concurrent with the latest write to FIRST")
 	spillDir := fs.String("spill", "", "export -live: spill sealed segments to this directory")
 	seal := fs.Int("seal", 0, "export -live: seal every N events (0: only at the end)")
+	batch := fs.Int("batch", 0, "export -live: commit runs of up to N same-thread events as one batch (0: per-event)")
 	verify := fs.Bool("verify", false, "catalog: verify segment file sizes and content hashes")
 	maxSegs := fs.Int("max", 0, "compact: tolerated segment count (0: compact unconditionally)")
 	target := fs.Int64("target", 0, "compact: merged-tier size ceiling in bytes (0: one segment per epoch)")
@@ -202,7 +203,7 @@ func main() {
 		err = graph(os.Stdout, tr)
 	case "export":
 		if *live {
-			err = exportLive(os.Stdout, tr, *out, backend, *format, *spillDir, *seal)
+			err = exportLive(os.Stdout, tr, *out, backend, *format, *spillDir, *seal, *batch)
 		} else {
 			err = export(os.Stdout, tr, *out, backend, *format)
 		}
@@ -609,7 +610,9 @@ func export(w io.Writer, tr *event.Trace, out string, b vclock.Backend, format s
 // discovers the components, sealed segments (and the tail) feed the log
 // writer record by record, and no vector table is ever built. With -spill
 // the run's sealed history also lands as .mvcseg files for mvc segments.
-func exportLive(w io.Writer, tr *event.Trace, out string, b vclock.Backend, format, spillDir string, seal int) error {
+// With -batch N, runs of consecutive same-thread events commit as one
+// batch of up to N operations (identical stamps, amortized synchronization).
+func exportLive(w io.Writer, tr *event.Trace, out string, b vclock.Backend, format, spillDir string, seal, batch int) error {
 	if out == "" {
 		return fmt.Errorf("export needs -out")
 	}
@@ -626,9 +629,32 @@ func exportLive(w io.Writer, tr *event.Trace, out string, b vclock.Backend, form
 	for i := range objects {
 		objects[i] = tracker.NewObject(fmt.Sprintf("O%d", i+1))
 	}
-	for i := 0; i < tr.Len(); i++ {
-		e := tr.At(i)
-		threads[e.Thread].Do(objects[e.Object], e.Op, nil)
+	if batch > 0 {
+		// A Batch belongs to one thread, so flush at every thread change
+		// (and at the size cap). Trace order is preserved exactly: the
+		// replay is sequential and a flush commits everything accumulated
+		// before the next event commits anything.
+		var cur *track.Batch
+		curThread := event.ThreadID(-1)
+		for i := 0; i < tr.Len(); i++ {
+			e := tr.At(i)
+			if cur == nil || e.Thread != curThread || cur.Len() >= batch {
+				if cur != nil {
+					cur.Commit()
+				}
+				cur = threads[e.Thread].NewBatch()
+				curThread = e.Thread
+			}
+			cur.Add(objects[e.Object], e.Op)
+		}
+		if cur != nil {
+			cur.Commit()
+		}
+	} else {
+		for i := 0; i < tr.Len(); i++ {
+			e := tr.At(i)
+			threads[e.Thread].Do(objects[e.Object], e.Op, nil)
+		}
 	}
 	// Seal the remaining tail — this is what "-seal 0: only at the end"
 	// promises, and it is what puts the final events into -spill DIR.

@@ -245,7 +245,7 @@ func TestExportLiveAndSegments(t *testing.T) {
 	spill := filepath.Join(dir, "spill")
 	logPath := filepath.Join(dir, "live.mvclog")
 	var buf bytes.Buffer
-	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "delta", spill, 20); err != nil {
+	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "delta", spill, 20, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -336,7 +336,7 @@ func TestExportLiveFullFormat(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "live-full.mvclog")
 	var buf bytes.Buffer
-	if err := exportLive(&buf, tr, logPath, vclock.BackendTree, "full", "", 25); err != nil {
+	if err := exportLive(&buf, tr, logPath, vclock.BackendTree, "full", "", 25, 0); err != nil {
 		t.Fatal(err)
 	}
 	buf.Reset()
@@ -346,11 +346,41 @@ func TestExportLiveFullFormat(t *testing.T) {
 	if !strings.Contains(buf.String(), "validated 120 events") {
 		t.Errorf("inspect of full live log: %s", buf.String())
 	}
-	if err := exportLive(&buf, tr, "", vclock.BackendFlat, "delta", "", 0); err == nil {
+	if err := exportLive(&buf, tr, "", vclock.BackendFlat, "delta", "", 0, 0); err == nil {
 		t.Error("export -live without -out accepted")
 	}
-	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "cbor", "", 0); err == nil {
+	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "cbor", "", 0, 0); err == nil {
 		t.Error("export -live with unknown format accepted")
+	}
+}
+
+// TestExportLiveBatched: -batch N routes the replay through the batched
+// commit path; the exported log must be byte-identical to the per-event
+// replay — batching amortizes synchronization, it never changes a stamp.
+func TestExportLiveBatched(t *testing.T) {
+	tr := liveTrace(t)
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	perEvent := filepath.Join(dir, "per-event.mvclog")
+	if err := exportLive(&buf, tr, perEvent, vclock.BackendFlat, "delta", "", 20, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, 64} {
+		batched := filepath.Join(dir, fmt.Sprintf("batched-%d.mvclog", batch))
+		if err := exportLive(&buf, tr, batched, vclock.BackendFlat, "delta", "", 20, batch); err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(perEvent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("-batch %d export differs from per-event export", batch)
+		}
 	}
 }
 
@@ -390,7 +420,7 @@ func TestCatalogAndCompact(t *testing.T) {
 	spill := filepath.Join(dir, "spill")
 	logPath := filepath.Join(dir, "live.mvclog")
 	var buf bytes.Buffer
-	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "delta", spill, 4); err != nil {
+	if err := exportLive(&buf, tr, logPath, vclock.BackendFlat, "delta", spill, 4, 0); err != nil {
 		t.Fatal(err)
 	}
 	segFiles, err := expandSegmentArgs([]string{spill})

@@ -69,6 +69,32 @@
 // and materialize their stamps; see the internal/track package
 // documentation for the full concurrency model.
 //
+// High-rate producers can amortize the remaining per-event cost — one
+// object-stripe acquisition, one world read-lock shard, one cover lookup,
+// one trace-index fetch — across whole runs of operations:
+//
+//	stamps := th.DoBatch(account, ops) // one object, one synchronization round-trip
+//	b := th.NewBatch()
+//	b.Write(account).Read(ledger).Write(account)
+//	stamps = b.Commit() // mixed objects, one round-trip per same-object run
+//
+// A batch claims its whole contiguous trace-index range while holding the
+// object's commit exclusion, so index order remains a linearization of
+// happened-before, every operation of a batch lands in one epoch, and the
+// stamps are identical — events, epochs, timestamps — to the equivalent
+// loop of Do calls. Batching is purely an amortization, never a semantic
+// knob; `mvc export -live -batch N` and the longrunning example expose it
+// from the command line.
+//
+// Internally, the structures those commits read — the component cover, the
+// sealed-segment list — are published copy-on-write behind atomic pointers
+// and reclaimed through per-thread epochs (internal/track's reclaimer):
+// superseded generations and replaced spill files wait on a limbo list
+// until every in-flight commit and sealed replay has passed, so cover
+// growth, segment compaction and retention never stop the world. Only the
+// operations that must observe ALL threads at one instant — Snapshot, Seal,
+// Compact — still barrier.
+//
 // # Segments, spilling and streaming
 //
 // The canonical representation of a tracked run is the delta stream, end to

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,6 +32,8 @@ import (
 )
 
 func main() {
+	batch := flag.Int("batch", 0, "commit handler operations in batches of up to N (0: one Do per operation)")
+	flag.Parse()
 	spillDir, err := os.MkdirTemp("", "mvc-spill-*")
 	if err != nil {
 		panic(err)
@@ -61,13 +64,25 @@ func main() {
 		wg.Add(1)
 		go func(th *mixedclock.Thread, k int) {
 			defer wg.Done()
+			// With -batch N, each handler accumulates its operations in a
+			// Batch and commits every N: same events, same stamps, but the
+			// per-commit synchronization is paid once per batch — the knob
+			// to turn when handlers outrun the tracker.
+			b := th.NewBatch()
 			for j := 0; j < 60; j++ {
-				if (k+j)%2 == 0 {
-					th.Write(hotA, nil)
+				o := hotA
+				if (k+j)%2 != 0 {
+					o = hotB
+				}
+				if *batch > 0 {
+					if b.Write(o).Len() >= *batch {
+						b.Commit()
+					}
 				} else {
-					th.Write(hotB, nil)
+					th.Write(o, nil)
 				}
 			}
+			b.Commit()
 		}(th, i)
 	}
 	wg.Wait()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mixedclock/internal/bipartite"
 	"mixedclock/internal/event"
@@ -11,80 +12,146 @@ import (
 // component-discovery path of the live tracker (package track): many
 // goroutines observe (thread, object) pairs at once, but after a short
 // warm-up almost every pair has been seen before, so the common case must
-// not take an exclusive lock.
+// not take any lock at all.
 //
-// Observe is the single entry point for the hot path. It answers, in one
-// lock acquisition, everything the §III-C update rule needs for an event:
-// which of the two endpoints are clock components (their indices) and the
-// current clock width. A revealed edge only ever adds components
-// (append-only, §IV), so a reader that finds the edge already present can
-// serve the lookups under the read lock; only a genuinely new edge upgrades
-// to the write lock and runs the mechanism.
+// Observe is the single entry point for the hot path. It answers everything
+// the §III-C update rule needs for an event: which of the two endpoints are
+// clock components (their indices) and the current clock width. The steady
+// state is served from an immutable generation — a snapshot of the revealed
+// edge set plus the component-index tables — behind one atomic pointer:
+// one load, one map probe, two slice reads, no read-modify-write on any
+// shared cache line. Only a genuinely new edge takes the mutex, runs the
+// mechanism, and publishes a rebuilt generation (revealed edges only ever
+// add components, §IV, so a reader on the previous generation is merely one
+// reveal behind — the same answer it would have gotten a moment earlier).
+//
+// Superseded generations are immutable and safe to read forever; an
+// optional retire hook (OnRetire) hands each one to the caller so its
+// release can be tracked through epoch-based reclamation instead of
+// vanishing silently into the garbage collector.
 type SharedCover struct {
-	mu sync.RWMutex
+	// gen is the current immutable generation; never nil after
+	// NewSharedCover.
+	gen atomic.Pointer[coverGen]
+	// mu serializes revealers and the read-only accessors that walk the
+	// underlying CoverTracker directly (Graph, Mechanism, Components).
+	mu sync.Mutex
 	ct *CoverTracker
+	// retire, when set, receives each superseded generation after its
+	// replacement is published.
+	retire func(old any)
+}
+
+// coverGen is one immutable snapshot of the discovery state: the revealed
+// edge set and, per endpoint ID, the component index (-1 when the endpoint
+// is not a component), plus the clock width. Readers hold it only while
+// resolving one Observe; it is never mutated after publication.
+type coverGen struct {
+	edges  map[uint64]struct{}
+	thrIdx []int
+	objIdx []int
+	width  int
+}
+
+// edgeKey packs a (thread, object) edge into one map key.
+func edgeKey(t event.ThreadID, o event.ObjectID) uint64 {
+	return uint64(uint32(t))<<32 | uint64(uint32(o))
 }
 
 // NewSharedCover wraps ct for concurrent use. The SharedCover owns ct
 // afterwards; callers must not keep revealing through ct directly.
 func NewSharedCover(ct *CoverTracker) *SharedCover {
-	return &SharedCover{ct: ct}
+	s := &SharedCover{ct: ct}
+	s.gen.Store(s.rebuildLocked())
+	return s
 }
+
+// OnRetire sets the hook that receives each superseded generation (an
+// opaque immutable value) once its replacement is published. Set it before
+// the cover is shared; the hook runs on whichever goroutine revealed the
+// replacing edge, outside the cover's mutex.
+func (s *SharedCover) OnRetire(f func(old any)) { s.retire = f }
 
 // Observe reveals the edge (t, o) if it is new and returns the tick plan for
 // the event: the component indices of thread t and object o (-1 when the
 // endpoint is not a component) and the current clock width. The cover
 // invariant guarantees at least one index is non-negative for any edge the
-// mechanism has processed.
+// mechanism has processed. The revealed-edge steady state is lock-free.
 func (s *SharedCover) Observe(t event.ThreadID, o event.ObjectID) (thrIdx, objIdx, width int) {
-	s.mu.RLock()
-	if s.ct.graph.HasEdge(int(t), int(o)) {
-		thrIdx, objIdx, width = s.lookupLocked(t, o)
-		s.mu.RUnlock()
-		return thrIdx, objIdx, width
+	g := s.gen.Load()
+	if _, ok := g.edges[edgeKey(t, o)]; ok && int(t) < len(g.thrIdx) && int(o) < len(g.objIdx) {
+		return g.thrIdx[t], g.objIdx[o], g.width
 	}
-	s.mu.RUnlock()
+	return s.reveal(t, o)
+}
 
+// reveal is Observe's slow path: run the mechanism on the new edge and
+// publish a rebuilt generation. Duplicate reveals (two goroutines racing
+// the same new edge) are harmless — Reveal coalesces them.
+func (s *SharedCover) reveal(t event.ThreadID, o event.ObjectID) (thrIdx, objIdx, width int) {
 	s.mu.Lock()
-	// Another goroutine may have revealed the same edge between the two
-	// locks; Reveal coalesces duplicates, so re-running it is harmless.
 	s.ct.Reveal(t, o)
-	thrIdx, objIdx, width = s.lookupLocked(t, o)
+	old := s.gen.Load()
+	g := s.rebuildLocked()
+	s.gen.Store(g)
 	s.mu.Unlock()
-	return thrIdx, objIdx, width
+	if s.retire != nil {
+		s.retire(old)
+	}
+	return g.thrIdx[t], g.objIdx[o], g.width
 }
 
-// lookupLocked resolves the component indices of an edge's endpoints and the
-// clock width. Callers hold s.mu in either mode.
-func (s *SharedCover) lookupLocked(t event.ThreadID, o event.ObjectID) (thrIdx, objIdx, width int) {
-	thrIdx, objIdx = -1, -1
-	if i, ok := s.ct.comps.IndexOf(ThreadComponent(t)); ok {
-		thrIdx = i
+// rebuildLocked snapshots the CoverTracker into a fresh immutable
+// generation. The caller holds s.mu (or is the constructor). Rebuilds are
+// O(edges + endpoints) and happen only when the revealed graph grows — a
+// bounded number of times per epoch, not per event.
+func (s *SharedCover) rebuildLocked() *coverGen {
+	edges := s.ct.graph.EdgeList()
+	g := &coverGen{
+		edges: make(map[uint64]struct{}, len(edges)),
+		width: s.ct.comps.Len(),
 	}
-	if i, ok := s.ct.comps.IndexOf(ObjectComponent(o)); ok {
-		objIdx = i
+	maxT, maxO := -1, -1
+	for _, e := range edges {
+		g.edges[edgeKey(event.ThreadID(e.Thread), event.ObjectID(e.Object))] = struct{}{}
+		if e.Thread > maxT {
+			maxT = e.Thread
+		}
+		if e.Object > maxO {
+			maxO = e.Object
+		}
 	}
-	return thrIdx, objIdx, s.ct.comps.Len()
+	g.thrIdx = make([]int, maxT+1)
+	g.objIdx = make([]int, maxO+1)
+	for i := range g.thrIdx {
+		g.thrIdx[i] = -1
+		if idx, ok := s.ct.comps.IndexOf(ThreadComponent(event.ThreadID(i))); ok {
+			g.thrIdx[i] = idx
+		}
+	}
+	for i := range g.objIdx {
+		g.objIdx[i] = -1
+		if idx, ok := s.ct.comps.IndexOf(ObjectComponent(event.ObjectID(i))); ok {
+			g.objIdx[i] = idx
+		}
+	}
+	return g
 }
 
-// Size returns the current vector-clock size.
-func (s *SharedCover) Size() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ct.Size()
-}
+// Size returns the current vector-clock size. Lock-free.
+func (s *SharedCover) Size() int { return s.gen.Load().width }
 
 // Components returns a copy of the current component set.
 func (s *SharedCover) Components() []Component {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.ct.Components().Components()
 }
 
 // ComponentsString renders the component set (for error messages).
 func (s *SharedCover) ComponentsString() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.ct.Components().String()
 }
 
@@ -92,14 +159,14 @@ func (s *SharedCover) ComponentsString() string {
 // copied: callers must quiesce all revealers first (the live tracker calls
 // this only under its compaction barrier).
 func (s *SharedCover) Graph() *bipartite.Graph {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.ct.Graph()
 }
 
 // Mechanism returns the driving mechanism.
 func (s *SharedCover) Mechanism() Mechanism {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.ct.Mechanism()
 }

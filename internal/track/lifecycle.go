@@ -18,11 +18,14 @@
 //
 // Locking: segments are immutable and their list is append-only outside
 // the compaction gate, so compaction does all its I/O — reading the run,
-// writing the merged container — with no lock held, and takes the world
-// write barrier only to swap the rewritten entries in. Spill files are
-// removed only after the swapped-in catalog generation stops listing them;
-// a Stream caught mid-replay either holds an open descriptor (deletion is
-// invisible to it) or retries against the fresh list (stream.go).
+// writing the merged container — with no lock held, and the swap itself is
+// the atomic publication of a new segState snapshot (swapHist): no world
+// barrier, so commits never notice a compaction at all. Spill files are
+// removed only after the swapped-in catalog generation stops listing them,
+// and the removal goes through the epoch-based reclaimer (epoch.go): a
+// pinned reader — an in-flight commit or sealed replay — holds the
+// deletion in limbo until it passes. A Stream caught on a file whose
+// retirement predates its pin retries against the fresh list (stream.go).
 package track
 
 import (
@@ -78,10 +81,7 @@ func (t *Tracker) maybeCompactSegments() bool {
 	if p.MaxSegments <= 0 {
 		return false
 	}
-	t.world.RLock(0)
-	n := len(t.segs)
-	t.world.RUnlock(0)
-	if n <= p.MaxSegments {
+	if len(t.hist.Load().segs) <= p.MaxSegments {
 		return false
 	}
 	eliminated, err := t.CompactSegments(p)
@@ -110,9 +110,7 @@ func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
 	}
 	defer t.compactGate.Store(false)
 
-	t.world.RLock(0)
-	snap := t.segs[:len(t.segs):len(t.segs)]
-	t.world.RUnlock(0)
+	snap := t.hist.Load().segs
 	stats := make([]tlog.SegmentStat, len(snap))
 	for i, sg := range snap {
 		stats[i] = tlog.SegmentStat{Meta: sg.meta, Bytes: sg.size}
@@ -138,28 +136,32 @@ func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
 		merged[gi] = sg
 	}
 
-	// Swap under the barrier. The gate is ours, so t.segs can only have
-	// grown since the snapshot; the planned prefix is unchanged.
-	t.world.Lock()
-	newSegs := make([]*segment, 0, len(t.segs)-len(plan))
-	prev := 0
-	for gi, g := range plan {
-		newSegs = append(newSegs, t.segs[prev:g[0]]...)
-		newSegs = append(newSegs, merged[gi])
-		prev = g[1]
-	}
-	newSegs = append(newSegs, t.segs[prev:]...)
-	t.segs = newSegs
-	t.catGen.Add(1)
-	t.world.Unlock()
+	// Swap with no barrier: publish a new immutable snapshot derived from
+	// the current one. The gate is ours, so the list can only have grown at
+	// the tail since the snapshot (seals append); the planned prefix is
+	// unchanged. Commits never see the swap at all.
+	t.swapHist(func(old *segState) *segState {
+		newSegs := make([]*segment, 0, len(old.segs)-len(plan))
+		prev := 0
+		for gi, g := range plan {
+			newSegs = append(newSegs, old.segs[prev:g[0]]...)
+			newSegs = append(newSegs, merged[gi])
+			prev = g[1]
+		}
+		newSegs = append(newSegs, old.segs[prev:]...)
+		return &segState{segs: newSegs, retained: old.retained, gen: old.gen + 1}
+	})
 
 	// Publish the generation that stops listing the old files, then retire
-	// them.
+	// them through the reclaimer: the files are deleted once no pinned
+	// reader (an in-flight commit or sealed replay) can still be holding
+	// the superseded list — immediately, when the tracker is quiescent.
 	t.publishCatalog()
 	for _, g := range plan {
 		for _, sg := range snap[g[0]:g[1]] {
 			if sg.file != "" {
-				t.fs.Remove(sg.path())
+				old := sg
+				t.reclaim.retire(func() { t.fs.Remove(old.path()) })
 			}
 			eliminated++
 		}
@@ -216,13 +218,19 @@ func (t *Tracker) mergeRun(run []*segment) (*segment, error) {
 // by atomic rename after every seal and compaction), which is what external
 // log shippers should poll instead of calling into the tracker.
 func (t *Tracker) Catalog() tlog.Catalog {
+	// The segment list, floor and generation come from one immutable
+	// snapshot; the resume manifest and seal point are read under a shard
+	// read lock, which excludes the seal barrier (the only writer of both),
+	// so the two reads are mutually consistent.
 	t.world.RLock(0)
-	gen := t.catGen.Load()
+	st := t.hist.Load()
 	sealedEnd := t.tailStart
-	retained := t.retained
 	resume := t.resume
-	segs := make([]tlog.CatalogSegment, len(t.segs))
-	for i, sg := range t.segs {
+	t.world.RUnlock(0)
+	gen := st.gen
+	retained := st.retained
+	segs := make([]tlog.CatalogSegment, len(st.segs))
+	for i, sg := range st.segs {
 		var sealedUnix int64
 		if !sg.sealedAt.IsZero() {
 			sealedUnix = sg.sealedAt.Unix()
@@ -237,7 +245,6 @@ func (t *Tracker) Catalog() tlog.Catalog {
 			SealedUnix: sealedUnix,
 		}
 	}
-	t.world.RUnlock(0)
 	c := tlog.Catalog{
 		FormatVersion:    tlog.CatalogFormatVersion,
 		Generation:       gen,

@@ -116,7 +116,9 @@ func (t *Tracker) recoverDir(o options) error {
 		}
 		t.noteErr(fmt.Errorf("track: recovering %s: no usable catalog; quarantined %s",
 			dir, strings.Join(quarantined, ", ")))
-		t.catGen.Add(1)
+		t.swapHist(func(old *segState) *segState {
+			return &segState{segs: old.segs, retained: old.retained, gen: old.gen + 1}
+		})
 		t.publishCatalog()
 		return nil
 	}
@@ -267,7 +269,7 @@ func (t *Tracker) recoverDir(o options) error {
 		}
 		seeded = ct
 	}
-	t.cover.Store(core.NewSharedCover(seeded))
+	t.cover.Store(t.newCover(seeded))
 
 	// The requested backend survives the restart unless the caller overrode
 	// it; auto stays a policy, re-resolved against the recovered width.
@@ -357,7 +359,6 @@ func (t *Tracker) recoverDir(o options) error {
 		}
 		segs = append(segs, sg)
 	}
-	t.segs = segs
 	t.tailStart = P
 	t.seq.Store(int64(P))
 	t.sealed.Store(int64(P))
@@ -365,7 +366,10 @@ func (t *Tracker) recoverDir(o options) error {
 	if retained > P {
 		retained = P
 	}
-	t.retained = retained
+	// The tracker is not shared yet, so the snapshot can be stored
+	// directly; the generation picks up where the recovered catalog left
+	// off and is bumped below to announce the reopened run.
+	t.hist.Store(&segState{segs: segs, retained: retained, gen: cat.Generation})
 
 	info.Events = P
 	info.Epoch = epoch
@@ -380,11 +384,12 @@ func (t *Tracker) recoverDir(o options) error {
 	// Announce the reopened run: a fresh manifest, a new generation, no
 	// Closed marker. The tracker is not shared yet, so the write-lock
 	// precondition of the capture holds trivially.
-	t.catGen.Store(cat.Generation)
 	t.captureResumeLocked()
-	t.catGen.Add(1)
+	st := t.swapHist(func(old *segState) *segState {
+		return &segState{segs: old.segs, retained: old.retained, gen: old.gen + 1}
+	})
 	t.publishCatalog()
-	info.Generation = t.catGen.Load()
+	info.Generation = st.gen
 	_ = syncDir(t.fs, dir)
 	return nil
 }

@@ -73,7 +73,11 @@ func (t *Tracker) maybeRetainSegments() bool {
 // as a gapless prefix of sealed history: replay above the new floor, and
 // any future reopen, are unaffected. The swapped-out files are deleted (or
 // moved to p.Archive) only after the catalog generation that stops listing
-// them is published, mirroring compaction's ordering.
+// them is published, mirroring compaction's ordering, and the deletion runs
+// through the epoch-based reclaimer: a pinned reader delays it, a quiescent
+// tracker performs it before RetainSegments returns. A failure deleting or
+// archiving an individual file surfaces through Err, not the return value —
+// the retention pass itself has already taken effect.
 func (t *Tracker) RetainSegments(p RetainPolicy) (retired int, err error) {
 	if t.closed.Load() {
 		return 0, fmt.Errorf("track: RetainSegments on a closed Tracker")
@@ -89,10 +93,12 @@ func (t *Tracker) RetainSegments(p RetainPolicy) (retired int, err error) {
 	}
 	defer t.compactGate.Store(false)
 
+	// The epoch needs a shard read lock (it is written under the world
+	// barrier); the segment list is a lock-free snapshot.
 	t.world.RLock(0)
-	snap := t.segs[:len(t.segs):len(t.segs)]
 	epoch := t.epoch
 	t.world.RUnlock(0)
+	snap := t.hist.Load().segs
 
 	var total int64
 	for _, sg := range snap {
@@ -113,29 +119,41 @@ func (t *Tracker) RetainSegments(p RetainPolicy) (retired int, err error) {
 		return 0, nil
 	}
 	dropped := snap[:k]
+	floor := dropped[k-1].meta.FirstIndex + dropped[k-1].meta.Count
 
-	t.world.Lock()
-	t.segs = append([]*segment(nil), t.segs[k:]...)
-	t.retained = dropped[k-1].meta.FirstIndex + dropped[k-1].meta.Count
-	t.catGen.Add(1)
-	t.world.Unlock()
+	// Swap with no barrier: publish a new immutable snapshot. The gate is
+	// ours, so the list can only have grown at the tail since the snapshot;
+	// the dropped prefix is unchanged.
+	t.swapHist(func(old *segState) *segState {
+		return &segState{
+			segs:     append([]*segment(nil), old.segs[k:]...),
+			retained: floor,
+			gen:      old.gen + 1,
+		}
+	})
 
 	// Publish the generation that stops listing the retired files, then
-	// retire them.
+	// retire them through the reclaimer: deletion (or archival) waits out
+	// any pinned reader still holding the superseded list, and runs
+	// immediately when the tracker is quiescent. A file-retirement failure
+	// surfaces through Err — the pass itself already succeeded.
 	t.publishCatalog()
 	for _, sg := range dropped {
 		if sg.file == "" {
 			continue
 		}
-		if p.Archive != "" {
-			if aerr := archiveFile(t.fs, sg.path(), p.Archive, sg.file); aerr != nil && err == nil {
-				err = fmt.Errorf("track: archiving %s: %w", sg.file, aerr)
+		old := sg
+		t.reclaim.retire(func() {
+			if p.Archive != "" {
+				if aerr := archiveFile(t.fs, old.path(), p.Archive, old.file); aerr != nil {
+					t.noteErr(fmt.Errorf("track: archiving %s: %w", old.file, aerr))
+				}
+			} else if rerr := t.fs.Remove(old.path()); rerr != nil {
+				t.noteErr(fmt.Errorf("track: retiring %s: %w", old.file, rerr))
 			}
-		} else if rerr := t.fs.Remove(sg.path()); rerr != nil && err == nil {
-			err = fmt.Errorf("track: retiring %s: %w", sg.file, rerr)
-		}
+		})
 	}
-	return k, err
+	return k, nil
 }
 
 // archiveFile moves src into dir/name, falling back to copy-then-remove

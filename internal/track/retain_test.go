@@ -152,7 +152,7 @@ func TestRetainMaxAge(t *testing.T) {
 	// Backdate the first graduated segment (internal surgery — the seal
 	// clock is wall time, which tests cannot wait out).
 	tr.world.Lock()
-	tr.segs[0].sealedAt = time.Now().Add(-2 * time.Hour)
+	tr.hist.Load().segs[0].sealedAt = time.Now().Add(-2 * time.Hour)
 	tr.world.Unlock()
 	n, err := tr.RetainSegments(RetainPolicy{MaxAge: time.Hour})
 	if err != nil {

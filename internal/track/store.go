@@ -166,8 +166,11 @@ func (t *Tracker) Close() error {
 	err := t.sealLocked(t.mergedLenLocked())
 	// The Closed marker changes the published document even when the tail
 	// was empty; give it its own generation.
-	t.catGen.Add(1)
+	t.swapHist(func(old *segState) *segState {
+		return &segState{segs: old.segs, retained: old.retained, gen: old.gen + 1}
+	})
 	t.world.Unlock()
+	t.reclaim.reclaim()
 	t.publishCatalog()
 	if t.spill.Dir != "" {
 		if serr := syncDir(t.fs, t.spill.Dir); serr != nil && err == nil {

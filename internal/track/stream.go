@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"time"
@@ -261,17 +262,28 @@ func (t *Tracker) sealLocked(upTo int) error {
 	} else {
 		sg.data = data
 	}
-	t.segs = append(t.segs, sg)
-	t.catGen.Add(1)
+	t.swapHist(func(old *segState) *segState {
+		segs := make([]*segment, len(old.segs)+1)
+		copy(segs, old.segs)
+		segs[len(old.segs)] = sg
+		return &segState{segs: segs, retained: old.retained, gen: old.gen + 1}
+	})
 	t.captureResumeLocked()
 	// Drop consumed blocks outright (rather than truncating) so a spilling
 	// tracker's footprint really is bounded by the seal interval; a block
 	// the boundary cuts through is replaced by a copied remainder, never
 	// re-sliced — frozen blocks a Stream still replays must stay intact.
+	// The consumed blocks — the sealed arena storage — go onto the
+	// reclaimer's limbo list rather than being dropped here: a Stream's own
+	// references keep the blocks it replays alive regardless, and the limbo
+	// entry tracks the release of the seal's reference until every
+	// in-flight reader has passed the retirement.
 	var rest []*tailBlock
 	for _, b := range t.tail {
 		end := b.start + len(b.ev)
 		if end <= upTo {
+			consumed := b
+			t.reclaim.retireDeferred(func() { _ = consumed })
 			continue
 		}
 		if b.start >= upTo {
@@ -285,6 +297,8 @@ func (t *Tracker) sealLocked(upTo int) error {
 			ev:     append([]event.Event(nil), b.ev[k:]...),
 			stamps: append([]vclock.Vector(nil), b.stamps[k:]...),
 		})
+		cut := b
+		t.reclaim.retireDeferred(func() { _ = cut })
 	}
 	t.tail = rest
 	t.tailStart = upTo
@@ -332,6 +346,10 @@ func (t *Tracker) afterSeal() {
 	if !published {
 		t.publishCatalog()
 	}
+	// The barrier has lifted: drain whatever the seal retired under it
+	// (consumed tail blocks, the superseded history snapshot) from the
+	// reclaimer's limbo list, now that frees may safely run.
+	t.reclaim.reclaim()
 	// Newly sealed records are now replayable without a barrier; wake the
 	// registered monitors (non-blocking — a busy monitor picks the new
 	// segments up on its next pass anyway).
@@ -391,17 +409,26 @@ func (t *Tracker) autoSeal() error {
 	return nil
 }
 
-// sealedStampLocked reconstructs the stamp of sealed event idx from its
-// segment. The caller holds the world write lock.
-func (t *Tracker) sealedStampLocked(idx int) (vclock.Vector, error) {
-	i := sort.Search(len(t.segs), func(i int) bool {
-		m := t.segs[i].meta
-		return m.FirstIndex+m.Count > idx
-	})
-	if i == len(t.segs) || t.segs[i].meta.FirstIndex > idx {
-		return nil, fmt.Errorf("no segment holds event %d", idx)
+// sealedStamp reconstructs the stamp of sealed event idx from its segment.
+// The segment list is a lock-free snapshot; a spill file retired by a
+// concurrent compaction between the snapshot and the read is retried
+// against the fresh list, whose merged replacement covers the same records.
+func (t *Tracker) sealedStamp(idx int) (vclock.Vector, error) {
+	const maxRetries = 3
+	for attempt := 0; ; attempt++ {
+		segs := t.hist.Load().segs
+		i := sort.Search(len(segs), func(i int) bool {
+			m := segs[i].meta
+			return m.FirstIndex+m.Count > idx
+		})
+		if i == len(segs) || segs[i].meta.FirstIndex > idx {
+			return nil, fmt.Errorf("no segment holds event %d", idx)
+		}
+		v, err := segs[i].stampAt(idx)
+		if err == nil || attempt >= maxRetries || !errors.Is(err, fs.ErrNotExist) {
+			return v, err
+		}
 	}
-	return t.segs[i].stampAt(idx)
 }
 
 // SegmentInfo describes one sealed segment for inspection.
@@ -421,12 +448,12 @@ type SegmentInfo struct {
 	SHA256 string
 }
 
-// Segments lists the sealed history, oldest first.
+// Segments lists the sealed history, oldest first. Lock-free — it reads one
+// immutable snapshot, so it is safe even inside a Do callback.
 func (t *Tracker) Segments() []SegmentInfo {
-	t.world.RLock(0)
-	defer t.world.RUnlock(0)
-	out := make([]SegmentInfo, len(t.segs))
-	for i, sg := range t.segs {
+	segs := t.hist.Load().segs
+	out := make([]SegmentInfo, len(segs))
+	for i, sg := range segs {
 		out[i] = SegmentInfo{
 			Epoch:      sg.meta.Epoch,
 			FirstIndex: sg.meta.FirstIndex,
@@ -553,6 +580,15 @@ func (t *Tracker) StreamFrom(from int, sink StampSink) error {
 // error.
 func (t *Tracker) replaySealed(sink StampSink, from, to int) (int, error) {
 	delivered := from
+	// Register as an epoch-reclamation reader for the duration of the
+	// replay: spill files retired by a compaction or retention pass that
+	// starts after this pin sit in limbo — not deleted — until the replay
+	// finishes, so the vanished-file retry below is a fallback (for
+	// retirements that began before the pin), not the mechanism.
+	rec := t.reclaim.register()
+	rec.pin(&t.reclaim)
+	defer t.reclaim.unregister(rec)
+	defer rec.unpin()
 	// The retry budget is per stall, not per stream: progress since the
 	// last snapshot proves the list is live and resets it, so a long replay
 	// under sustained compaction retries each retirement it trips over,
@@ -605,15 +641,15 @@ func (t *Tracker) replaySealed(sink StampSink, from, to int) (int, error) {
 }
 
 // sealedCovering snapshots the suffix of the sealed-segment list covering
-// global indices at or above from.
+// global indices at or above from. Lock-free — one snapshot load; the
+// returned slice is immutable.
 func (t *Tracker) sealedCovering(from int) []*segment {
-	t.world.RLock(0)
-	defer t.world.RUnlock(0)
-	i := sort.Search(len(t.segs), func(i int) bool {
-		m := t.segs[i].meta
+	segs := t.hist.Load().segs
+	i := sort.Search(len(segs), func(i int) bool {
+		m := segs[i].meta
 		return m.FirstIndex+m.Count > from
 	})
-	return t.segs[i:len(t.segs):len(t.segs)]
+	return segs[i:len(segs):len(segs)]
 }
 
 // SnapshotTo streams the recorded computation into w as a delta-encoded

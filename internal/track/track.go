@@ -38,6 +38,19 @@
 //     is held, so index order refines both program order and object order —
 //     i.e. the merged trace is a linearization of happened-before.
 //
+// # Batched commits
+//
+// Thread.DoBatch (and the mixed-object Batch builder on top of it) commits
+// a run of operations under ONE round of the synchronization above: one
+// stripe hold, one world read-lock shard hold, one cover observation, and
+// one atomic fetch that claims the whole contiguous index range. Because
+// the range is claimed while the object commit exclusion is held, index
+// order remains a linearization of happened-before, and because the world
+// read lock spans the run, a batch belongs entirely to one epoch. The
+// stamps are identical to the equivalent loop of Do calls — batching is an
+// amortization, never a semantic knob. See batch.go for the linearization
+// argument case by case.
+//
 // # Delta records and lazy stamps
 //
 // Committing an event does not flatten the thread's clock. The update rule
@@ -124,6 +137,36 @@
 // auto-sealing). A spilling tracker also publishes it as catalog.json in
 // the spill directory — rewritten by atomic rename after every seal and
 // compaction — so shippers never touch the tracker at all.
+//
+// # Epoch-based reclamation
+//
+// The structures commits read without locks — the cover generation, the
+// sealed-history snapshot (segment list, retention floor, catalog
+// generation) — are copy-on-write values behind atomic pointers, and their
+// superseded versions are freed through a small epoch-based reclaimer
+// (epoch.go) instead of a stop-the-world barrier. Every commit and every
+// sealed replay pins its thread's reclamation record around the loads;
+// retiring a resource stamps it with the current reclamation epoch and
+// parks it on a limbo list, and a limbo entry runs its free function only
+// once no registered record is still pinned at or before that epoch.
+//
+// What goes through limbo: superseded SharedCover generations (cover
+// growth and the Compact swap), superseded segState snapshots (every seal,
+// compaction, retention, recovery and Close swap), and the spill files a
+// compaction or retention pass stops listing — their deletion is the one
+// free that touches the filesystem, and it runs strictly after the catalog
+// generation without them is published. This is why CompactSegments and
+// RetainSegments never take the world write lock: readers caught mid-flight
+// are either pinned (the retirement waits for them) or started after the
+// swap (they see the new list); a sealed replay that still loses its file
+// to a retirement that predates its pin retries against the fresh list
+// (stream.go). The limbo list drains opportunistically — at each retire
+// when the tracker is quiescent, and after every seal barrier.
+//
+// Snapshot, Seal and Compact still stop the world, but for a different
+// reason: they must observe every thread's unmerged records at one instant
+// to merge them in trace order. That barrier is about the per-thread
+// buffers, not about reclamation — nothing else requires it anymore.
 //
 // # Streaming and barriers
 //
@@ -400,14 +443,23 @@ type Tracker struct {
 	// fs is the filesystem every durable path runs on (Store.FS; vfs.OS by
 	// default). Set once at construction, never on the commit hot path.
 	fs        vfs.FS
-	segs      []*segment
 	tailStart int
 	tail      []*tailBlock
-	// retained is the retention floor: events below it were retired by a
-	// RetainPolicy pass (always whole segments of closed epochs), so sealed
-	// history covers [retained, tailStart). Written under the world write
-	// lock.
-	retained int
+	// hist is the current sealed-history snapshot (segment list, retention
+	// floor, catalog generation) as one immutable value behind an atomic
+	// pointer. Readers — Catalog, Segments, streams, lazy stamps — load it
+	// with no lock; writers derive a replacement through swapHist, and the
+	// superseded snapshot (plus any spill files it alone listed) is freed
+	// through the epoch-based reclaimer (epoch.go) once every reader has
+	// passed. This is what lets compaction and retention swap the list
+	// without the world write barrier.
+	hist atomic.Pointer[segState]
+	// segMu serializes hist writers only (seal, compaction, retention,
+	// Close, recovery); it is never taken by readers or commits.
+	segMu sync.Mutex
+	// reclaim is the epoch-based reclamation state: commits and sealed
+	// replays pin it, retired resources wait on its limbo list.
+	reclaim reclaimer
 	// resume is the latest resume manifest, captured under the world write
 	// lock at every seal, compaction and Open (each capture builds a fresh
 	// immutable value), and embedded in the published catalog so a
@@ -424,10 +476,14 @@ type Tracker struct {
 	// auto-sealing after a spill failure (one failed barrier, not one per
 	// commit) until an explicit Seal or Compact succeeds. lastSealNano is
 	// when the last successful seal (or the tracker's creation) happened —
-	// the reference point of the wall-time sealing trigger.
+	// the reference point of the wall-time sealing trigger. sealArmed is
+	// set once at construction when the spill policy has any automatic
+	// trigger: when clear, the post-commit maybeAutoSeal call is skipped
+	// entirely, so an unspilled tracker's hot path pays nothing for it.
 	sealed       atomic.Int64
 	sealGate     atomic.Bool
 	sealBroken   atomic.Bool
+	sealArmed    atomic.Bool
 	lastSealNano atomic.Int64
 	// degradedSince is when a persistent spill failure flipped the tracker
 	// into degraded mode (unix nanos; 0 = healthy). Set by enterDegraded,
@@ -436,11 +492,10 @@ type Tracker struct {
 	// that re-arms sealing while degraded (faults.go).
 	degradedSince atomic.Int64
 	lastProbeNano atomic.Int64
-	// compactGate admits one segment-compaction pass at a time; catGen
-	// counts segment-list generations (bumped by every seal and every
-	// compaction swap), and catMu serializes catalog.json publications.
+	// compactGate admits one segment-compaction or retention pass at a
+	// time; catMu serializes catalog.json publications. The catalog
+	// generation itself lives in hist (bumped by every snapshot swap).
 	compactGate atomic.Bool
-	catGen      atomic.Int64
 	catMu       sync.Mutex
 
 	// Epoch bookkeeping, written only under the world write lock. epoch is
@@ -461,6 +516,33 @@ type Tracker struct {
 	// window.
 	monMu    sync.Mutex
 	monitors []*Monitor
+}
+
+// segState is one immutable sealed-history snapshot: the sealed-segment
+// list (oldest first), the retention floor (events below it were retired by
+// a RetainPolicy pass, so sealed history covers [retained, tailStart)), and
+// the catalog generation, which changes exactly when the snapshot does.
+// A published segState is never mutated; writers derive a replacement via
+// swapHist and the old value is retired through the reclaimer.
+type segState struct {
+	segs     []*segment
+	retained int
+	gen      int64
+}
+
+// swapHist publishes the sealed-history snapshot derive builds from the
+// current one, and retires the superseded snapshot onto the reclaimer's
+// limbo list. segMu serializes the deriving writers against each other;
+// readers never take it — they just load t.hist. Safe to call under the
+// world write barrier (the retirement is deferred; no I/O runs here).
+func (t *Tracker) swapHist(derive func(old *segState) *segState) *segState {
+	t.segMu.Lock()
+	old := t.hist.Load()
+	ns := derive(old)
+	t.hist.Store(ns)
+	t.segMu.Unlock()
+	t.reclaim.retireDeferred(func() { _ = old })
+	return ns
 }
 
 // Option configures a Tracker.
@@ -523,9 +605,24 @@ func newTracker(o options) *Tracker {
 	if t.fs == nil {
 		t.fs = vfs.OS
 	}
+	t.reclaim.init()
+	t.hist.Store(&segState{})
 	t.lastSealNano.Store(time.Now().UnixNano())
-	t.cover.Store(core.NewSharedCover(core.NewCoverTracker(o.mech)))
+	t.sealArmed.Store(t.spill.SealEvents > 0 || t.spill.SealEvery > 0 || t.spill.SealInterval > 0)
+	t.cover.Store(t.newCover(core.NewCoverTracker(o.mech)))
 	return t
+}
+
+// newCover wraps ct in a SharedCover whose superseded generations are
+// retired through the tracker's reclaimer — a reveal publishes a new
+// generation with no barrier, and the old one joins the limbo list until
+// every in-flight commit has passed it. The retirement is deferred (no
+// reclamation attempt) because reveals happen inside commits, and the
+// commit hot path must never run a free (frees may touch the filesystem).
+func (t *Tracker) newCover(ct *core.CoverTracker) *core.SharedCover {
+	s := core.NewSharedCover(ct)
+	s.OnRetire(func(old any) { t.reclaim.retireDeferred(func() { _ = old }) })
+	return s
 }
 
 // Thread is a registered logical thread. A Thread must be used by one
@@ -540,6 +637,11 @@ type Thread struct {
 	// shard is the thread's slice of the sharded world barrier; commits
 	// from this thread only ever touch that shard's reader count.
 	shard int
+	// rec is the thread's epoch-reclamation record: every commit pins it to
+	// the global reclamation epoch for the duration of the clock update, so
+	// retired shared state (cover generations, segment-list snapshots,
+	// spill files) is freed only after this thread has passed (epoch.go).
+	rec *epochRec
 
 	// clock is the thread's working clock, nil until the first operation
 	// of an epoch. Owned by the driving goroutine (under the world read
@@ -610,6 +712,7 @@ func (t *Tracker) NewThread(name string) *Thread {
 	defer t.reg.Unlock()
 	th := &Thread{t: t, id: event.ThreadID(len(t.threads)), name: name}
 	th.shard = t.world.shardFor(int(th.id))
+	th.rec = t.reclaim.register()
 	t.threads = append(t.threads, th)
 	return th
 }
@@ -640,8 +743,12 @@ func (t *Tracker) NewObject(name string) *Object {
 func (th *Thread) Do(o *Object, op event.Op, fn func()) Stamped {
 	s := th.do(o, op, fn)
 	// With every lock released, honour the spill policy: sealing is its own
-	// (rare) barrier, never nested inside a commit.
-	th.t.maybeAutoSeal()
+	// (rare) barrier, never nested inside a commit. The armed check is one
+	// atomic load, so a tracker with no automatic seal trigger skips the
+	// whole policy evaluation on every event.
+	if th.t.sealArmed.Load() {
+		th.t.maybeAutoSeal()
+	}
 	return s
 }
 
@@ -686,12 +793,26 @@ func (th *Thread) Read(o *Object, fn func()) Stamped { return th.Do(o, event.OpR
 // the event. The caller holds the object commit exclusion (mu exclusively
 // for writes; mu shared plus cmu for reads) and the world read lock; the
 // thread's clock needs no lock (the calling goroutine owns it). The only
-// cross-thread contention left is the object stripe itself, the cover's
-// read lock, and one atomic increment.
+// cross-thread contention left is the object stripe itself and one atomic
+// increment — the cover's steady state is a lock-free generation load.
 func (t *Tracker) commit(th *Thread, o *Object, op event.Op) Stamped {
+	// Pin before loading any reclaimer-protected pointer (the cover
+	// generation), so a concurrent retirement waits this commit out.
+	th.rec.pin(&t.reclaim)
 	cover := t.cover.Load()
 	thrIdx, objIdx, width := cover.Observe(th.id, o.id)
+	idx := int(t.seq.Add(1)) - 1
+	s := t.commitOne(th, o, op, idx, thrIdx, objIdx, width)
+	th.rec.unpin()
+	return s
+}
 
+// commitOne is the per-event core of commit and doBatch: run the update
+// rule for one event whose trace index was already claimed and whose tick
+// plan (component indices and width) was already resolved, and record it.
+// The caller holds the object commit exclusion and the world read lock and
+// has pinned the thread's reclamation record.
+func (t *Tracker) commitOne(th *Thread, o *Object, op event.Op, idx, thrIdx, objIdx, width int) Stamped {
 	tv := th.clock
 	if tv == nil {
 		tv = core.NewBackendClock(t.backend)
@@ -705,7 +826,8 @@ func (t *Tracker) commit(th *Thread, o *Object, op event.Op) Stamped {
 		// so no other thread has committed here since — th.clock and
 		// o.clock are the same value. The join is a no-op and the object
 		// can adopt the event clock by replaying just the tick deltas:
-		// O(1) at any clock width, the read-heavy steady state.
+		// O(1) at any clock width, the read-heavy steady state. Every op
+		// of a batch after the first lands here by construction.
 		th.deltas, ticked = core.TickCovered(tv, thrIdx, objIdx, th.deltas)
 		o.clock.Apply(th.deltas[start:])
 	} else {
@@ -721,13 +843,12 @@ func (t *Tracker) commit(th *Thread, o *Object, op event.Op) Stamped {
 	o.ver++
 	th.lastObj, th.lastVer = o, o.ver
 
-	idx := int(t.seq.Add(1)) - 1
 	e := event.Event{Index: idx, Thread: th.id, Object: o.id, Op: op}
 	if !ticked {
 		// The event's edge is not covered, which would indicate a tracker
 		// bug. Record the misuse for Err instead of panicking.
 		t.noteErr(fmt.Errorf("track: event %d %v not covered by components %v",
-			idx, e, cover.ComponentsString()))
+			idx, e, t.cover.Load().ComponentsString()))
 	}
 	th.buf = append(th.buf, record{ev: e, start: start, end: len(th.deltas), width: width})
 	if th.cellsUsed == len(th.cells) {
@@ -831,11 +952,11 @@ func (t *Tracker) stampAt(idx int) vclock.Vector {
 		// Unreachable for cells minted by commit; guard against decay.
 		return nil
 	}
-	if idx < t.retained {
-		t.noteErr(fmt.Errorf("track: stamp %d was retired by the retention policy (floor %d)", idx, t.retained))
+	if r := t.hist.Load().retained; idx < r {
+		t.noteErr(fmt.Errorf("track: stamp %d was retired by the retention policy (floor %d)", idx, r))
 		return nil
 	}
-	v, err := t.sealedStampLocked(idx)
+	v, err := t.sealedStamp(idx)
 	if err != nil {
 		t.noteErr(fmt.Errorf("track: materializing sealed stamp %d: %w", idx, err))
 		return nil
@@ -866,11 +987,9 @@ func (t *Tracker) Events() int { return int(t.seq.Load()) }
 // RetainedEvents returns the retention floor: the smallest trace index whose
 // event is still replayable. Zero until a RetainPolicy pass retires
 // segments; events below the floor are gone from Stream/Snapshot output and
-// their lazy stamps materialize as nil.
+// their lazy stamps materialize as nil. Lock-free — one snapshot load.
 func (t *Tracker) RetainedEvents() int {
-	t.world.RLock(0)
-	defer t.world.RUnlock(0)
-	return t.retained
+	return t.hist.Load().retained
 }
 
 // Threads returns the registered threads in registration order (index is

@@ -75,6 +75,11 @@ type (
 	Object = track.Object
 	// Stamped is a recorded operation with its timestamp.
 	Stamped = track.Stamped
+	// Batch accumulates operations by one thread across any objects and
+	// commits them in one call, paying the per-commit synchronization once
+	// per same-object run instead of once per operation; see
+	// Thread.NewBatch, Thread.DoBatch.
+	Batch = track.Batch
 	// TrackerOption configures NewTracker.
 	TrackerOption = track.Option
 	// SpillPolicy bounds a long-running tracker's memory: when the merged
