@@ -20,6 +20,7 @@ import (
 	"mixedclock/internal/clock"
 	"mixedclock/internal/core"
 	"mixedclock/internal/experiment"
+	"mixedclock/internal/loadgen"
 	"mixedclock/internal/matching"
 	"mixedclock/internal/tlog"
 	"mixedclock/internal/trace"
@@ -993,5 +994,39 @@ func BenchmarkMonitorLive(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkLoadgenMixed is the CI gate's end-to-end harness benchmark: one
+// complete loadgen run per iteration — warmup then a fixed-op mixed phase
+// across 4 workers — per commit style (per-op Do vs batch-16) and clock
+// backend. It locks in what `mvc spam` reports: whole-pipeline throughput,
+// with the latency histogram and stats collection riding along.
+func BenchmarkLoadgenMixed(b *testing.B) {
+	for _, backend := range []string{"flat", "tree"} {
+		for _, batch := range []int{1, 16} {
+			b.Run(fmt.Sprintf("%s/batch%d", backend, batch), func(b *testing.B) {
+				b.ReportAllocs()
+				var ops int64
+				for i := 0; i < b.N; i++ {
+					rep, err := loadgen.Run(loadgen.Config{
+						Threads:  4,
+						Objects:  64,
+						ReadFrac: 0.5,
+						Ops:      5_000,
+						Warmup:   500,
+						Batch:    batch,
+						Dist:     "uniform",
+						Backend:  backend,
+						Seed:     int64(i + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ops += rep.Ops
+				}
+				b.ReportMetric(float64(ops)/b.Elapsed().Seconds()/1e6, "mops/s")
+			})
+		}
 	}
 }

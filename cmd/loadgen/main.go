@@ -1,0 +1,53 @@
+// Command loadgen drives a live tracker with a configurable mixed workload
+// and reports throughput, per-op latency percentiles, allocation rates and
+// the tracker's final lifecycle stats. It is the repo's headline-number
+// harness: warmup phase first, then a timed (or fixed-op-count) measured
+// phase, in the warmup-then-mixed style of the classic index benchmarking
+// harnesses. `mvc spam` is the same engine behind the main CLI.
+//
+// Usage:
+//
+//	loadgen [-threads N] [-objects N] [-readfrac F] [-duration D | -ops N]
+//	        [-batch N] [-dist uniform|zipf] [-store DIR] [-monitor]
+//	        [-backend flat|tree|auto] [-seed S] [-format table|csv|json]
+//
+// Examples:
+//
+//	loadgen -threads 8 -duration 2s                   # quick headline number
+//	loadgen -threads 8 -batch 16 -dist zipf           # batched, skewed
+//	loadgen -store /tmp/run -monitor -duration 10s    # durable + watched
+//	loadgen -ops 10000 -seed 7 -format json           # deterministic, scriptable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mixedclock/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	lf := loadgen.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rep, err := loadgen.Run(lf.Config())
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	if err := rep.Write(stdout, *lf.Format); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSmokeJSON runs a tiny deterministic load and checks the JSON report
+// parses and carries the fields scripts (and the CI smoke step) rely on.
+func TestSmokeJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-threads", "2", "-objects", "8", "-ops", "500", "-warmup", "50", "-seed", "7", "-format", "json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Ops     int64   `json:"ops"`
+		Mops    float64 `json:"mops"`
+		Latency struct {
+			P50 int64 `json:"p50_ns"`
+			P99 int64 `json:"p99_ns"`
+		} `json:"latency"`
+		Tracker struct {
+			Events int `json:"events"`
+			Width  int `json:"width"`
+		} `json:"tracker"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not parseable JSON: %v\n%s", err, out.String())
+	}
+	if want := int64(2 * 500); rep.Ops != want {
+		t.Errorf("ops = %d, want %d (deterministic -ops mode)", rep.Ops, want)
+	}
+	if rep.Mops <= 0 || rep.Latency.P99 < rep.Latency.P50 || rep.Tracker.Width < 1 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+	if rep.Tracker.Events != 2*500+2*50 {
+		t.Errorf("tracker events = %d, want warmup+measured = %d", rep.Tracker.Events, 2*500+2*50)
+	}
+}
+
+// TestSmokeFormats checks the table and CSV renderings and the format error
+// path.
+func TestSmokeFormats(t *testing.T) {
+	for _, format := range []string{"table", "csv"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-threads", "1", "-ops", "100", "-format", format}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("format %s: exit %d, stderr: %s", format, code, errb.String())
+		}
+		if format == "table" && !strings.Contains(out.String(), "mops/sec") {
+			t.Errorf("table output missing throughput:\n%s", out.String())
+		}
+		if format == "csv" && !strings.HasPrefix(out.String(), "threads,") {
+			t.Errorf("csv output missing header:\n%s", out.String())
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-threads", "1", "-ops", "10", "-format", "nope"}, &out, &errb); code == 0 {
+		t.Fatal("unknown format accepted")
+	}
+}

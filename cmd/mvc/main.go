@@ -34,6 +34,16 @@
 //	                                       tier-compact a spill directory:
 //	                                       merge runs of adjacent small
 //	                                       segments, rewrite the catalog
+//	mvc spam      [-threads N] [-duration D | -ops N] [-readfrac F]
+//	              [-batch N] [-dist uniform|zipf] [-store DIR] [-monitor]
+//	              [-backend B] [-seed S] [-format table|csv|json]
+//	                                       load-generate against a live
+//	                                       tracker and report mops/sec,
+//	                                       latency percentiles and final
+//	                                       lifecycle stats (cmd/loadgen's
+//	                                       engine; with -store the run is
+//	                                       durable and mvc detect -live
+//	                                       can watch it from outside)
 //
 // Traces are JSON Lines as produced by tracegen (one {"i","t","o","op"}
 // object per line); -trace defaults to stdin.
@@ -89,6 +99,7 @@ import (
 	"mixedclock/internal/cut"
 	"mixedclock/internal/detect"
 	"mixedclock/internal/event"
+	"mixedclock/internal/loadgen"
 	"mixedclock/internal/tlog"
 	"mixedclock/internal/track"
 	"mixedclock/internal/vclock"
@@ -100,6 +111,24 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	// spam is the load generator: its knob set is loadgen's, not the
+	// trace-analysis flags below, so it parses its own FlagSet (notably
+	// -format means table|csv|json here, not a log encoding).
+	if cmd == "spam" {
+		sfs := flag.NewFlagSet("mvc spam", flag.ExitOnError)
+		lf := loadgen.AddFlags(sfs)
+		if err := sfs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		rep, err := loadgen.Run(lf.Config())
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Write(os.Stdout, *lf.Format); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fs := flag.NewFlagSet("mvc "+cmd, flag.ExitOnError)
 	tracePath := fs.String("trace", "-", "trace file (JSONL); - for stdin")
 	n := fs.Int("n", 20, "timestamp/inspect: number of events to print (0 = all)")
@@ -217,7 +246,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mvc {analyze|timestamp|order|detect|recover|validate|graph|export|inspect|segments|catalog|compact} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mvc {analyze|timestamp|order|detect|recover|validate|graph|export|inspect|segments|catalog|compact|spam} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'mvc <command> -h' for command flags")
 }
 

@@ -74,6 +74,13 @@ const (
 	seriesOffline     = "offline-optimal"
 )
 
+// A sizer measures the final clock size of every online series over one
+// reveal order. onlineSizes is the offline baseline (core.SimulateCover);
+// liveSizes (live.go) drives a real track.Tracker instead. Both consume rng
+// identically — one draw per uncovered new edge of the Random series — so a
+// figure's numbers are reproducible and pipeline-independent.
+type sizer func(order []bipartite.Edge, nThreads int, rng *rand.Rand) map[string]int
+
 // onlineSizes runs the §IV mechanisms over one reveal order and returns
 // final sizes keyed by series name. The Random mechanism draws from rng so
 // results stay reproducible.
@@ -87,8 +94,9 @@ func onlineSizes(order []bipartite.Edge, nThreads int, rng *rand.Rand) map[strin
 }
 
 // sweepPoint measures mean sizes for one graph configuration across trials.
-// Series include the online mechanisms and the offline optimum.
-func sweepPoint(cfg bipartite.GenConfig, opt Options, point int) (map[string]float64, error) {
+// Series include the online mechanisms (measured by sz) and the offline
+// optimum.
+func sweepPoint(cfg bipartite.GenConfig, opt Options, point int, sz sizer) (map[string]float64, error) {
 	sums := map[string]float64{}
 	for trial := 0; trial < opt.Trials; trial++ {
 		rng := trialRng(opt.Seed, point, trial)
@@ -97,7 +105,7 @@ func sweepPoint(cfg bipartite.GenConfig, opt Options, point int) (map[string]flo
 			return nil, fmt.Errorf("experiment: point %d trial %d: %w", point, trial, err)
 		}
 		order := g.RevealOrder(rng)
-		for name, size := range onlineSizes(order, cfg.NThreads, rng) {
+		for name, size := range sz(order, cfg.NThreads, rng) {
 			sums[name] += float64(size)
 		}
 		sums[seriesOffline] += float64(core.Analyze(g).VectorSize())
@@ -111,7 +119,7 @@ func sweepPoint(cfg bipartite.GenConfig, opt Options, point int) (map[string]flo
 
 // densitySweep builds a Result over opt.Densities for one scenario,
 // including the named series.
-func densitySweep(title string, scenario bipartite.Scenario, opt Options, series []string) (*Result, error) {
+func densitySweep(title string, scenario bipartite.Scenario, opt Options, series []string, sz sizer) (*Result, error) {
 	r := &Result{
 		Title:  title,
 		XLabel: "density",
@@ -126,7 +134,7 @@ func densitySweep(title string, scenario bipartite.Scenario, opt Options, series
 			NThreads: opt.Nodes, NObjects: opt.Nodes,
 			Density: d, Scenario: scenario,
 		}
-		means, err := sweepPoint(cfg, opt, i)
+		means, err := sweepPoint(cfg, opt, i, sz)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +147,7 @@ func densitySweep(title string, scenario bipartite.Scenario, opt Options, series
 }
 
 // nodeSweep builds a Result over opt.NodeCounts at fixed opt.Density.
-func nodeSweep(title string, scenario bipartite.Scenario, opt Options, series []string) (*Result, error) {
+func nodeSweep(title string, scenario bipartite.Scenario, opt Options, series []string, sz sizer) (*Result, error) {
 	r := &Result{
 		Title:  title,
 		XLabel: "nodes per side",
@@ -154,7 +162,7 @@ func nodeSweep(title string, scenario bipartite.Scenario, opt Options, series []
 			NThreads: n, NObjects: n,
 			Density: opt.Density, Scenario: scenario,
 		}
-		means, err := sweepPoint(cfg, opt, i)
+		means, err := sweepPoint(cfg, opt, i, sz)
 		if err != nil {
 			return nil, err
 		}
@@ -177,20 +185,43 @@ func offlineSeries() []string {
 	return []string{seriesNaive, seriesNaiveActive, seriesPopularity, seriesOffline}
 }
 
-// Fig4 reproduces "Vector Size Varies as Graph Density Increases": 50
-// threads and 50 objects, density sweep, Naive vs Random vs Popularity, one
-// Result per scenario (Uniform, Nonuniform).
-func Fig4(opt Options) (uniform, nonuniform *Result, err error) {
+// fig4 is the shared body of Fig4 and Fig4Live, parameterized by sizer.
+func fig4(opt Options, sz sizer) (uniform, nonuniform *Result, err error) {
 	opt = opt.withDefaults()
 	uniform, err = densitySweep(
 		fmt.Sprintf("Fig. 4a — online mechanisms vs density (uniform, %d nodes/side)", opt.Nodes),
-		bipartite.Uniform, opt, onlineSeries())
+		bipartite.Uniform, opt, onlineSeries(), sz)
 	if err != nil {
 		return nil, nil, err
 	}
 	nonuniform, err = densitySweep(
 		fmt.Sprintf("Fig. 4b — online mechanisms vs density (nonuniform, %d nodes/side)", opt.Nodes),
-		bipartite.Nonuniform, opt, onlineSeries())
+		bipartite.Nonuniform, opt, onlineSeries(), sz)
+	if err != nil {
+		return nil, nil, err
+	}
+	return uniform, nonuniform, nil
+}
+
+// Fig4 reproduces "Vector Size Varies as Graph Density Increases": 50
+// threads and 50 objects, density sweep, Naive vs Random vs Popularity, one
+// Result per scenario (Uniform, Nonuniform).
+func Fig4(opt Options) (uniform, nonuniform *Result, err error) {
+	return fig4(opt, onlineSizes)
+}
+
+// fig5 is the shared body of Fig5 and Fig5Live, parameterized by sizer.
+func fig5(opt Options, sz sizer) (uniform, nonuniform *Result, err error) {
+	opt = opt.withDefaults()
+	uniform, err = nodeSweep(
+		fmt.Sprintf("Fig. 5a — online mechanisms vs nodes (uniform, density %.2f)", opt.Density),
+		bipartite.Uniform, opt, onlineSeries(), sz)
+	if err != nil {
+		return nil, nil, err
+	}
+	nonuniform, err = nodeSweep(
+		fmt.Sprintf("Fig. 5b — online mechanisms vs nodes (nonuniform, density %.2f)", opt.Density),
+		bipartite.Nonuniform, opt, onlineSeries(), sz)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -200,38 +231,35 @@ func Fig4(opt Options) (uniform, nonuniform *Result, err error) {
 // Fig5 reproduces "Vector Size Varies as Number of Nodes Increases":
 // density 0.05, node sweep, Naive vs Random vs Popularity, per scenario.
 func Fig5(opt Options) (uniform, nonuniform *Result, err error) {
+	return fig5(opt, onlineSizes)
+}
+
+// fig6 is the shared body of Fig6 and Fig6Live, parameterized by sizer.
+func fig6(opt Options, sz sizer) (*Result, error) {
 	opt = opt.withDefaults()
-	uniform, err = nodeSweep(
-		fmt.Sprintf("Fig. 5a — online mechanisms vs nodes (uniform, density %.2f)", opt.Density),
-		bipartite.Uniform, opt, onlineSeries())
-	if err != nil {
-		return nil, nil, err
-	}
-	nonuniform, err = nodeSweep(
-		fmt.Sprintf("Fig. 5b — online mechanisms vs nodes (nonuniform, density %.2f)", opt.Density),
-		bipartite.Nonuniform, opt, onlineSeries())
-	if err != nil {
-		return nil, nil, err
-	}
-	return uniform, nonuniform, nil
+	return densitySweep(
+		fmt.Sprintf("Fig. 6 — offline optimum vs online vs density (uniform, %d nodes/side)", opt.Nodes),
+		bipartite.Uniform, opt, offlineSeries(), sz)
 }
 
 // Fig6 reproduces "offline vs online as density increases": 50 nodes per
 // side, density sweep, Naive vs Popularity (online) vs the offline optimum,
 // on uniform graphs.
 func Fig6(opt Options) (*Result, error) {
+	return fig6(opt, onlineSizes)
+}
+
+// fig7 is the shared body of Fig7 and Fig7Live, parameterized by sizer.
+func fig7(opt Options, sz sizer) (*Result, error) {
 	opt = opt.withDefaults()
-	return densitySweep(
-		fmt.Sprintf("Fig. 6 — offline optimum vs online vs density (uniform, %d nodes/side)", opt.Nodes),
-		bipartite.Uniform, opt, offlineSeries())
+	return nodeSweep(
+		fmt.Sprintf("Fig. 7 — offline optimum vs online vs nodes (uniform, density %.2f)", opt.Density),
+		bipartite.Uniform, opt, offlineSeries(), sz)
 }
 
 // Fig7 reproduces "offline vs online as the number of nodes increases":
 // density 0.05, node sweep, Naive vs Popularity vs offline optimum, uniform
 // graphs.
 func Fig7(opt Options) (*Result, error) {
-	opt = opt.withDefaults()
-	return nodeSweep(
-		fmt.Sprintf("Fig. 7 — offline optimum vs online vs nodes (uniform, density %.2f)", opt.Density),
-		bipartite.Uniform, opt, offlineSeries())
+	return fig7(opt, onlineSizes)
 }

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"mixedclock/internal/vclock"
+)
+
+// smallOpt keeps the equivalence sweeps to one cheap point per axis.
+func smallOpt() Options {
+	return Options{
+		Trials:     2,
+		Seed:       11,
+		Nodes:      12,
+		Density:    0.1,
+		Densities:  []float64{0.1},
+		NodeCounts: []int{10, 20},
+	}
+}
+
+// requireEqualResults asserts two figure Results carry identical series —
+// the live tracker pipeline must reproduce the offline simulation exactly,
+// not approximately.
+func requireEqualResults(t *testing.T, name string, offline, live *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(offline.X, live.X) {
+		t.Fatalf("%s: x-axis differs: offline %v live %v", name, offline.X, live.X)
+	}
+	if !reflect.DeepEqual(offline.Series, live.Series) {
+		t.Fatalf("%s: series differ:\noffline %+v\nlive    %+v", name, offline.Series, live.Series)
+	}
+}
+
+// TestLiveEquivalence pins the tentpole property: every figure's online
+// series measured on a live Tracker (per backend) equals the offline
+// core.SimulateCover numbers, point for point — the tracker's concurrent
+// cover path realizes the paper's mechanisms exactly, and the shared rng
+// discipline keeps the Random series deterministic across pipelines.
+func TestLiveEquivalence(t *testing.T) {
+	opt := smallOpt()
+	for _, backend := range []vclock.Backend{vclock.BackendFlat, vclock.BackendTree} {
+		o4u, o4n, err := Fig4(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l4u, l4n, err := Fig4Live(opt, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualResults(t, "fig4 uniform", o4u, l4u)
+		requireEqualResults(t, "fig4 nonuniform", o4n, l4n)
+
+		o5u, o5n, err := Fig5(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l5u, l5n, err := Fig5Live(opt, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualResults(t, "fig5 uniform", o5u, l5u)
+		requireEqualResults(t, "fig5 nonuniform", o5n, l5n)
+
+		o6, err := Fig6(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l6, err := Fig6Live(opt, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualResults(t, "fig6", o6, l6)
+
+		o7, err := Fig7(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l7, err := Fig7Live(opt, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualResults(t, "fig7", o7, l7)
+	}
+}
+
+// TestBackendWidthSweepShape runs the throughput sweep at minimum scale and
+// checks its structure: every series present, one value per worker count,
+// all positive.
+func TestBackendWidthSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput sweep under -short")
+	}
+	r, err := BackendWidthSweep(Options{Trials: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 8 {
+		t.Fatalf("expected 8 series (2 backends × 2 styles × 2 ratios), got %d", len(r.Series))
+	}
+	if len(r.X) != len(sweepThreads) {
+		t.Fatalf("x-axis has %d points, want %d", len(r.X), len(sweepThreads))
+	}
+	for _, s := range r.Series {
+		if len(s.Values) != len(r.X) {
+			t.Fatalf("series %s has %d values, want %d", s.Name, len(s.Values), len(r.X))
+		}
+		for i, v := range s.Values {
+			if v <= 0 {
+				t.Errorf("series %s point %d: non-positive throughput %v", s.Name, i, v)
+			}
+		}
+	}
+}

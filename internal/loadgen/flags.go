@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"flag"
+	"time"
+)
+
+// Flags binds the load-generator knobs to a FlagSet. cmd/loadgen and
+// `mvc spam` both register through AddFlags, so the two front doors accept
+// the identical interface and stay in sync by construction.
+type Flags struct {
+	threads  *int
+	objects  *int
+	readfrac *float64
+	duration *time.Duration
+	warmup   *int
+	ops      *int
+	batch    *int
+	dist     *string
+	store    *string
+	monitor  *bool
+	backend  *string
+	seed     *int64
+	// Format is the output format flag: table, csv or json.
+	Format *string
+}
+
+// AddFlags registers the standard load-generator flags on fs and returns
+// the bound set; call Config after fs.Parse.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		threads:  fs.Int("threads", 4, "worker goroutines (tracker threads)"),
+		objects:  fs.Int("objects", 64, "shared objects"),
+		readfrac: fs.Float64("readfrac", 0.5, "fraction of measured ops that are reads"),
+		duration: fs.Duration("duration", 2*time.Second, "measured-phase length (ignored with -ops)"),
+		warmup:   fs.Int("warmup", 1000, "warmup writes per worker before measuring"),
+		ops:      fs.Int("ops", 0, "measured ops per worker (deterministic mode; 0 = timed)"),
+		batch:    fs.Int("batch", 1, "ops per batched commit (1 = per-op Do)"),
+		dist:     fs.String("dist", "uniform", "object distribution: uniform or zipf"),
+		store:    fs.String("store", "", "spill directory: arms spilling, compaction and retention"),
+		monitor:  fs.Bool("monitor", false, "attach a live online monitor for the run"),
+		backend:  fs.String("backend", "", "clock backend: flat, tree, auto (default: tracker default)"),
+		seed:     fs.Int64("seed", 1, "base RNG seed"),
+		Format:   fs.String("format", "table", "report format: table, csv or json"),
+	}
+}
+
+// Config materializes the parsed flag values as a run configuration.
+func (f *Flags) Config() Config {
+	return Config{
+		Threads:  *f.threads,
+		Objects:  *f.objects,
+		ReadFrac: *f.readfrac,
+		Duration: *f.duration,
+		Warmup:   *f.warmup,
+		Ops:      *f.ops,
+		Batch:    *f.batch,
+		Dist:     *f.dist,
+		Store:    *f.store,
+		Monitor:  *f.monitor,
+		Backend:  *f.backend,
+		Seed:     *f.seed,
+	}
+}

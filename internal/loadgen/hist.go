@@ -1,0 +1,94 @@
+package loadgen
+
+import "math/bits"
+
+// subBits is the histogram's per-power-of-two resolution: each power-of-two
+// range is split into 1<<subBits linear sub-buckets, bounding quantile error
+// to ~1/2^subBits (≈3%) of the reported value — the classic HDR-histogram
+// layout, here over int64 nanoseconds with no dependencies.
+const subBits = 5
+
+// histBuckets covers every int64 value: shifts 0..63-subBits, 1<<subBits
+// sub-buckets each (indexes below 1<<subBits are exact).
+const histBuckets = (64 - subBits) << subBits
+
+// hist is a fixed-size log-linear latency histogram. Recording is two array
+// ops, merging is element-wise addition, and quantiles walk the cumulative
+// counts; workers each own one and the reporter merges them at the end, so
+// recording is entirely uncontended.
+type hist struct {
+	counts [histBuckets]int64
+	n      int64
+	max    int64
+}
+
+// bucketOf maps a non-negative value to its bucket index. Values below
+// 1<<subBits map exactly; larger values keep subBits significant bits.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 1<<subBits {
+		return int(u)
+	}
+	shift := bits.Len64(u) - subBits - 1
+	// u>>shift is in [1<<subBits, 2<<subBits), so indexes are contiguous
+	// across the exact/log-linear boundary.
+	return (shift << subBits) + int(u>>uint(shift))
+}
+
+// valueOf returns a representative (midpoint) value for a bucket index —
+// the inverse of bucketOf up to sub-bucket resolution.
+func valueOf(idx int) int64 {
+	if idx < 1<<subBits {
+		return int64(idx)
+	}
+	shift := (idx >> subBits) - 1
+	base := int64(idx-(shift<<subBits)) << uint(shift)
+	return base + int64(1)<<uint(shift)/2
+}
+
+// recordN adds n observations of value v.
+func (h *hist) recordN(v int64, n int64) {
+	h.counts[bucketOf(v)] += n
+	h.n += n
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// merge folds o into h.
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the value at quantile q in [0, 1]; the top quantile is
+// clamped to the exact observed maximum.
+func (h *hist) quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.n))
+	if target >= h.n-1 {
+		return h.max
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			v := valueOf(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

@@ -166,6 +166,8 @@ func (t *Tracker) CompactSegments(p CompactPolicy) (eliminated int, err error) {
 			eliminated++
 		}
 	}
+	t.compactPasses.Add(1)
+	t.compactedSegs.Add(int64(eliminated - len(plan)))
 	return eliminated - len(plan), nil
 }
 

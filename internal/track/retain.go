@@ -153,6 +153,8 @@ func (t *Tracker) RetainSegments(p RetainPolicy) (retired int, err error) {
 			}
 		})
 	}
+	t.retainPasses.Add(1)
+	t.retiredSegs.Add(int64(k))
 	return k, nil
 }
 

@@ -309,6 +309,7 @@ func (t *Tracker) sealLocked(upTo int) error {
 	t.sealBroken.Store(false)
 	t.degradedSince.Store(0)
 	t.lastSealNano.Store(time.Now().UnixNano())
+	t.sealPasses.Add(1)
 	return nil
 }
 

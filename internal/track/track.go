@@ -273,6 +273,19 @@
 // first order violation arms an online recovery line — the maximal
 // consistent cut excluding the violation's causal future — maintained
 // from then on in O(threads) per record.
+//
+// # Load generation and headline numbers
+//
+// internal/loadgen drives a Tracker the way this package intends it to be
+// driven — per-goroutine Threads, Do or Batch commits under contention, an
+// optional Store and Monitor — and is the source of the repo's headline
+// throughput and latency numbers (`mvc spam`, cmd/loadgen, and the
+// end-to-end BenchmarkLoadgenMixed in the CI gate). Tracker.Stats is the
+// harness-facing summary it reports: cumulative Events/Width/Epoch plus
+// the lifecycle counters (seals, compaction and retention passes and the
+// segments they eliminated) this package bumps on each path's success,
+// never on the commit hot path. Stats takes the same world read lock a
+// commit takes, so it must not be called from inside a Do callback.
 package track
 
 import (
@@ -497,6 +510,17 @@ type Tracker struct {
 	// generation itself lives in hist (bumped by every snapshot swap).
 	compactGate atomic.Bool
 	catMu       sync.Mutex
+
+	// Cumulative lifecycle counters surfaced through Stats: successful
+	// seal passes, segment-compaction passes and the segments they
+	// eliminated, retention passes and the segments they retired.
+	// Monotonic across epochs; each is bumped once on its path's success,
+	// never on the commit hot path.
+	sealPasses    atomic.Int64
+	compactPasses atomic.Int64
+	compactedSegs atomic.Int64
+	retainPasses  atomic.Int64
+	retiredSegs   atomic.Int64
 
 	// Epoch bookkeeping, written only under the world write lock. epoch is
 	// additionally read by commits under the read lock; epochStart[i] is

@@ -108,6 +108,11 @@ type (
 	// Tracker.Health and the "Failure model and degraded operation"
 	// section above.
 	Health = track.Health
+	// TrackerStats is a point-in-time lifecycle summary of a tracker:
+	// committed/sealed/retained event counts, clock width and backend,
+	// sealed-history shape, and the cumulative seal/compaction/retention
+	// totals. See Tracker.Stats; cmd/loadgen reports one per run.
+	TrackerStats = track.TrackerStats
 	// Shipper incrementally copies a spill directory's sealed, published
 	// history to a mirror directory, resuming from a durable cursor.
 	Shipper = track.Shipper
